@@ -1,0 +1,18 @@
+"""§7.1 — D-VPA scaling-operation latency vs native VPA.
+
+Shape claims: one in-place D-VPA resize ≈ 23 ms; the delete-and-rebuild
+path is ~100× slower and interrupts the container.
+"""
+
+from repro.experiments.dvpa_latency import main as dvpa_main
+
+
+def test_dvpa_latency(once):
+    result = once(dvpa_main)
+    # ~23 ms per operation
+    assert 10.0 <= result["dvpa_mean_ms"] <= 40.0
+    # "approximately 100 times" faster than delete-and-rebuild
+    assert 50.0 <= result["speedup"] <= 200.0
+    # D-VPA never interrupts; the native path always does
+    assert result["dvpa_interrupts"] == 0
+    assert result["native_interrupts"] > 0

@@ -1,0 +1,25 @@
+"""Figure 10 — QoS re-assurance mechanism on/off under P1/P2/P3.
+
+Shape claims: enabling re-assurance never hurts the LC QoS-guarantee
+satisfaction rate, improves it under at least one pattern, and costs little
+BE throughput.
+"""
+
+from repro.experiments.fig10 import main as fig10_main
+
+
+def test_fig10_reassurance(once):
+    result = once(fig10_main)
+    improvements = 0
+    for pattern, arms in result.items():
+        q_with = arms["with"]["qos_rate"]
+        q_without = arms["without"]["qos_rate"]
+        # never clearly worse
+        assert q_with >= q_without - 0.03, pattern
+        if q_with > q_without + 1e-6:
+            improvements += 1
+        # BE throughput cost stays small
+        t_with = arms["with"]["throughput"]
+        t_without = arms["without"]["throughput"]
+        assert t_with >= 0.85 * t_without, pattern
+    assert improvements >= 1

@@ -1,0 +1,22 @@
+"""Figure 11(a,b) — DSS-LC vs LC scheduling baselines.
+
+Shape claims: DSS-LC achieves the best QoS-guarantee satisfaction rate, a
+competitive (lowest-band) average latency, and the fewest abandoned
+requests; K8s-native round-robin trails it clearly.
+"""
+
+from repro.experiments.fig11 import run_fig11ab
+
+
+def test_fig11ab_dss_lc(once):
+    result = once(run_fig11ab, "small")
+    dss = result["dss-lc"]
+    # best (or tied-best) satisfaction rate across all baselines
+    for name, arm in result.items():
+        assert dss["qos_rate"] >= arm["qos_rate"] - 0.005, name
+    # clearly above the K8s-native default
+    assert dss["qos_rate"] > result["k8s-native"]["qos_rate"]
+    # fewest abandoned requests
+    assert dss["abandoned"] <= min(a["abandoned"] for a in result.values())
+    # stability: per-period QoS never collapses
+    assert min(dss["qos_per_period"]) > 0.5

@@ -1,0 +1,19 @@
+"""Figure 11(c) — DCG-BE vs BE scheduling baselines.
+
+Shape claims: the inter-cluster algorithms beat K8s-native's local-only
+round-robin, and DCG-BE delivers the best long-term throughput of all.
+"""
+
+from repro.experiments.fig11 import run_fig11c
+
+
+def test_fig11c_dcg_be(once):
+    result = once(run_fig11c, "multi")
+    thr = {k: v["throughput"] for k, v in result.items()}
+    # DCG-BE is the best BE scheduler
+    assert thr["dcg-be"] >= max(thr.values()) - 1e-9
+    # inter-cluster scheduling beats the local-only K8s default
+    assert thr["dcg-be"] > thr["k8s-native"]
+    assert thr["load-greedy"] > thr["k8s-native"] * 0.95
+    # DCG-BE leads GNN-SAC (paper: ≈ +9.3 %)
+    assert thr["dcg-be"] > thr["gnn-sac"]

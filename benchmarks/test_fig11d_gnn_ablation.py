@@ -1,0 +1,19 @@
+"""Figure 11(d) — GNN encoder ablation inside DCG-BE.
+
+Shape claims: GraphSAGE is the strongest encoder for the scheduling policy;
+message-passing encoders as a family are competitive with or better than
+the no-GNN Native-A2C variant.
+"""
+
+from repro.experiments.fig11 import run_fig11d
+
+
+def test_fig11d_gnn_ablation(once):
+    result = once(run_fig11d, "multi")
+    thr = {k: v["throughput"] for k, v in result.items()}
+    # GraphSAGE is best or within noise of the best (strictly above native)
+    best = max(thr.values())
+    assert thr["graphsage"] >= 0.93 * best
+    assert thr["graphsage"] >= thr["native"] * 0.98
+    # every encoder still produces a functioning scheduler
+    assert min(thr.values()) > 0

@@ -1,0 +1,29 @@
+"""Figure 13 — Tango vs CERES vs DSACO (state-of-the-art comparison).
+
+Shape claims (the paper's headline numbers):
+
+* Tango's resource utilisation exceeds CERES's by a large margin
+  (paper: +36.9 %);
+* Tango's LC QoS-guarantee satisfaction rate beats DSACO's
+  (paper: +11.3 %);
+* Tango's long-term BE throughput beats CERES's (paper: +47.6 %).
+"""
+
+from repro.experiments.fig13 import main as fig13_main
+
+
+def test_fig13_sota_comparison(once):
+    result = once(fig13_main, "constrained")
+    tango, ceres, dsaco = result["tango"], result["ceres"], result["dsaco"]
+
+    # utilisation: Tango >> CERES (paper +36.9%; accept anything > +15%)
+    assert tango["utilization"] > ceres["utilization"] * 1.15
+
+    # QoS: Tango >= DSACO with a real margin
+    assert tango["qos_rate"] > dsaco["qos_rate"]
+
+    # throughput: Tango >> CERES (paper +47.6%; accept anything > +15%)
+    assert tango["throughput"] > ceres["throughput"] * 1.15
+
+    # Tango dominates or matches on every axis simultaneously
+    assert tango["qos_rate"] >= max(ceres["qos_rate"], dsaco["qos_rate"]) - 0.03

@@ -1,0 +1,29 @@
+"""Fig. 11(c)'s time axis — DCG-BE improves while training online.
+
+Weak-shape claims only (online RL at bench horizons is noisy): the
+cumulative-mean throughput of the learning agent does not collapse over
+episodes, and by the second half it is competitive with the K8s-native
+reference measured on the identical traces.
+"""
+
+import numpy as np
+
+from repro.experiments.learning_curve import main as curve_main
+
+
+def test_learning_curve(once):
+    result = once(curve_main)
+    learned = result["dcg_be"]
+    static = result["k8s_native"]
+    cumulative = result["dcg_be_cumulative_mean"]
+
+    # training never collapses the policy: cumulative mean stays within
+    # 25% of its starting level
+    assert min(cumulative) >= 0.75 * cumulative[0]
+
+    # second-half average is competitive with (or better than) the static
+    # reference on the same traces
+    half = len(learned) // 2
+    late_learned = float(np.mean(learned[half:]))
+    late_static = float(np.mean(static[half:]))
+    assert late_learned >= 0.9 * late_static

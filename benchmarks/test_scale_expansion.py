@@ -1,0 +1,26 @@
+"""§7.3 — "Can Tango adapt to system scale expansion?"
+
+Shape claims: the LC QoS-guarantee satisfaction rate does not degrade as
+the system grows (per-cluster load held constant); per-node BE throughput
+stays roughly flat (no central bottleneck); and DSS-LC decision latency
+remains a tiny fraction of the QoS targets at every size.
+"""
+
+from repro.experiments.scale_expansion import main as scale_main
+
+
+def test_scale_expansion(once):
+    result = once(scale_main)
+    sizes = sorted(result)
+    small, large = result[sizes[0]], result[sizes[-1]]
+
+    # QoS holds (or improves) as the system grows 8x
+    assert large["qos_rate"] >= small["qos_rate"] - 0.05
+
+    # per-node throughput stays within 2x band (work-conserving scaling)
+    ratio = large["throughput_per_node"] / max(small["throughput_per_node"], 1e-9)
+    assert 0.5 <= ratio <= 2.0
+
+    # decision latency stays far below the smallest QoS target (250 ms)
+    for n, stats in result.items():
+        assert stats["dss_decision_ms"] < 25.0, f"{n} clusters"

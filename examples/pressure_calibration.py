@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Calibrate the twin space from pressure tests, as the paper does (§6.1).
+
+Sweeps one LC and one BE service over allocation × background-load grids
+(the paper's "different loads and resources"), prints the measured
+processing-time tables, fits a :class:`TableLatencyModel`, and verifies the
+closure property: simulating on the measured table reproduces the behaviour
+it was measured from.
+
+Run:  python examples/pressure_calibration.py
+"""
+
+from repro.sim.latency import LatencyModel
+from repro.sim.pressure import PressureTester, TableLatencyModel
+from repro.workloads.spec import ServiceKind, default_catalog
+
+FRACS = (0.4, 0.6, 0.8, 1.0, 1.2)
+UTILS = (0.0, 0.5, 0.8, 0.95)
+
+
+def print_table(spec, points):
+    print(f"\n--- {spec.name} (base {spec.base_service_ms:.0f} ms at "
+          f"reference allocation) ---")
+    header = "alloc\\util " + "".join(f"{u:>9.2f}" for u in UTILS)
+    print(header)
+    for frac in FRACS:
+        row = [p for p in points if p.allocation_fraction == frac]
+        row.sort(key=lambda p: p.background_utilization)
+        cells = "".join(f"{p.processing_ms:>9.0f}" for p in row)
+        print(f"{frac:>10.1f} {cells}")
+
+
+def main() -> None:
+    catalog = default_catalog()
+    lc = next(s for s in catalog if s.kind is ServiceKind.LC)
+    be = next(s for s in catalog if s.kind is ServiceKind.BE)
+
+    tester = PressureTester(tick_ms=1.0)
+    table_model = TableLatencyModel()
+
+    for spec in (lc, be):
+        points = tester.sweep(spec, FRACS, UTILS)
+        print_table(spec, points)
+        table_model.fit(spec, points)
+
+    # closure check: the fitted table reproduces the source behaviour
+    parametric = LatencyModel()
+    print("\nclosure check (table speed vs parametric speed):")
+    worst = 0.0
+    for frac in (0.5, 0.75, 1.0):
+        for util in (0.2, 0.7, 0.9):
+            alloc = lc.reference_resources * frac
+            want = parametric.speed(lc, alloc, util)
+            got = table_model.speed(lc, alloc, util)
+            err = abs(got - want) / max(want, 1e-9)
+            worst = max(worst, err)
+            print(f"  alloc={frac:.2f} util={util:.1f}: "
+                  f"table {got:.3f} vs parametric {want:.3f} "
+                  f"({err*100:.1f}% error)")
+    print(f"\nworst interpolation error: {worst*100:.1f}% "
+          "(the paper's twin space relies on exactly this closure)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Inspect a workload trace before running experiments on it.
+
+Generates the default synthetic trace (the Google-2019 stand-in), prints
+the marginals the paper's evaluation depends on — diurnal arrival shape,
+LC/BE mix, per-type popularity, geographic skew, demand heterogeneity —
+and renders the arrival timeline per kind.
+
+Swap the generator for :class:`repro.workloads.google.GoogleTraceLoader`
+to analyse the real 2019 trace the same way.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.metrics.plotting import histogram, sparkline, timeline_chart
+from repro.workloads.spec import ServiceKind
+from repro.workloads.stats import arrival_series, summarize_trace
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+
+def main() -> None:
+    config = TraceConfig(
+        n_clusters=4,
+        duration_ms=60_000.0,
+        hours_per_second=0.4,  # 24 simulated hours over the minute
+        start_hour=0.0,
+        seed=13,
+    )
+    records = SyntheticTrace(config).generate()
+    summary = summarize_trace(records)
+
+    print(f"{summary.n_records} requests over {summary.duration_ms/1000:.0f}s "
+          f"({summary.mean_rps:.1f} req/s mean, "
+          f"peak/mean {summary.peak_to_mean:.2f})\n")
+
+    print("arrivals over the (compressed) day:")
+    chart = timeline_chart(
+        {
+            "LC": arrival_series(records, kind=ServiceKind.LC),
+            "BE": arrival_series(records, kind=ServiceKind.BE),
+        },
+        width=64,
+    )
+    print(chart)
+
+    print(f"\nLC fraction: {summary.lc_fraction:.2f}   "
+          f"cluster skew (max/min share): {summary.skew_ratio():.2f}")
+    print("cluster shares:",
+          {c: round(s, 3) for c, s in summary.cluster_share.items()})
+
+    print("\nservice mix (requests per type):")
+    for service, count in sorted(
+        summary.service_mix.items(), key=lambda kv: -kv[1]
+    ):
+        bar = sparkline([count], width=1)
+        print(f"  {service:20s} {count:6d}")
+
+    print("\nper-request CPU demand distribution (cores):")
+    print(histogram([r.cpu for r in records], bins=8, width=32))
+
+
+if __name__ == "__main__":
+    main()

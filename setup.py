@@ -1,0 +1,16 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Tango: Harmonious Management and Scheduling for "
+        "Mixed Services Co-located among Distributed Edge-Clouds (ICPP 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["tango-repro = repro.cli:main"]},
+)

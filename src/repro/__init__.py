@@ -1,0 +1,29 @@
+"""repro — reproduction of Tango (ICPP 2023).
+
+Tango: Harmonious Management and Scheduling for Mixed Services Co-located
+among Distributed Edge-Clouds (Feng et al., ICPP 2023).
+
+Public API highlights::
+
+    from repro import TangoSystem, TangoConfig
+    from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+    system = TangoSystem(TangoConfig.tango())
+    metrics = system.run(SyntheticTrace(TraceConfig()).generate())
+"""
+
+from repro.core.config import TangoConfig
+from repro.core.tango import TangoSystem
+from repro.cluster.resources import ResourceKind, ResourceVector
+from repro.metrics.collectors import RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TangoConfig",
+    "TangoSystem",
+    "ResourceKind",
+    "ResourceVector",
+    "RunMetrics",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""End-to-end baseline systems: K8s-native static, CERES, DSACO."""
+
+from .ceres import CeresConfig, CeresManager
+from .dsaco import DSACOConfig, DSACOScheduler
+from .static import StaticPartitionManager
+
+__all__ = [
+    "StaticPartitionManager",
+    "CeresManager",
+    "CeresConfig",
+    "DSACOScheduler",
+    "DSACOConfig",
+]

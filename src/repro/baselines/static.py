@@ -1,0 +1,89 @@
+"""K8s-native resource management: fixed allocation, no preemption.
+
+§7.1: "We initialize the resource allocation limits of services for
+K8s-native according to the total resource usage ratio in the trace."  Native
+K8s resource lists are set at pod creation and cannot change at runtime
+(§4.2 pain points), so the baseline partitions each node statically into an
+LC share and a BE share; requests always receive their *reference*
+allocation from their own partition, wait when the partition is full, and
+never preempt — the "fixed allocation and unordered competition" Fig. 9(c)
+attributes the baseline's turbulence to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cluster.node import AdmitDecision, RunningRequest, WorkerNode
+from repro.cluster.resources import ResourceVector
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceKind
+
+__all__ = ["StaticPartitionManager"]
+
+
+@dataclass
+class _PartitionState:
+    lc_allocated: ResourceVector
+    be_allocated: ResourceVector
+
+
+class StaticPartitionManager:
+    """Fixed LC/BE node partitions with reference-sized allocations."""
+
+    def __init__(self, lc_share: float = 0.5) -> None:
+        if not 0.0 < lc_share < 1.0:
+            raise ValueError("lc_share must be in (0, 1)")
+        self.lc_share = lc_share
+        self._state: Dict[str, _PartitionState] = {}
+
+    def _partition(self, node: WorkerNode) -> _PartitionState:
+        if node.name not in self._state:
+            self._state[node.name] = _PartitionState(
+                lc_allocated=ResourceVector(), be_allocated=ResourceVector()
+            )
+        return self._state[node.name]
+
+    def _quota(self, node: WorkerNode, kind: ServiceKind) -> ResourceVector:
+        share = self.lc_share if kind is ServiceKind.LC else 1.0 - self.lc_share
+        return node.capacity * share
+
+    # ------------------------------------------------------------------ #
+    # ResourceManager interface
+    # ------------------------------------------------------------------ #
+    def admit(
+        self, node: WorkerNode, request: ServiceRequest, now_ms: float
+    ) -> Optional[AdmitDecision]:
+        state = self._partition(node)
+        spec = request.spec
+        demand = spec.reference_resources
+        quota = self._quota(node, spec.kind)
+        used = (
+            state.lc_allocated if spec.is_lc else state.be_allocated
+        )
+        if not (used + demand).fits_in(quota):
+            return None
+        if not demand.fits_in(node.free()):
+            return None
+        if spec.is_lc:
+            state.lc_allocated = state.lc_allocated + demand
+        else:
+            state.be_allocated = state.be_allocated + demand
+        return AdmitDecision(allocation=demand, overhead_ms=0.0)
+
+    def on_complete(
+        self, node: WorkerNode, running: RunningRequest, now_ms: float
+    ) -> None:
+        state = self._partition(node)
+        if running.request.is_lc:
+            state.lc_allocated = (
+                state.lc_allocated - running.allocation
+            ).clamp_min(0.0)
+        else:
+            state.be_allocated = (
+                state.be_allocated - running.allocation
+            ).clamp_min(0.0)
+
+    def tick(self, node: WorkerNode, now_ms: float) -> None:
+        """Native K8s performs no runtime reallocation."""

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Run one system configuration against a synthetic trace and print (or
+    save) the metrics::
+
+        python -m repro run --stack tango --clusters 6 --duration 20
+        python -m repro run --stack ceres --out results/ceres.json
+
+``compare``
+    Run several stacks on the *same* trace and print a comparison table::
+
+        python -m repro compare --stacks tango,k8s-native,ceres
+
+``experiment``
+    Regenerate one paper figure/table by name::
+
+        python -m repro experiment fig9
+        python -m repro experiment dvpa
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.cluster.topology import TopologyConfig
+from repro.core.config import TangoConfig
+from repro.core.tango import TangoSystem
+from repro.metrics.report import comparison_table, save_metrics
+from repro.sim.runner import RunnerConfig
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+__all__ = ["main", "build_parser"]
+
+_STACKS = {
+    "tango": TangoConfig.tango,
+    "k8s-native": TangoConfig.k8s_native,
+    "ceres": TangoConfig.ceres,
+    "dsaco": TangoConfig.dsaco,
+}
+
+_EXPERIMENTS = {
+    "fig1": "repro.experiments.fig1",
+    "fig9": "repro.experiments.fig9",
+    "fig10": "repro.experiments.fig10",
+    "fig11": "repro.experiments.fig11",
+    "fig12": "repro.experiments.fig12",
+    "fig13": "repro.experiments.fig13",
+    "dvpa": "repro.experiments.dvpa_latency",
+    "dss-latency": "repro.experiments.dss_latency",
+    "elasticity": "repro.experiments.elasticity",
+    "scale-expansion": "repro.experiments.scale_expansion",
+    "learning-curve": "repro.experiments.learning_curve",
+    "ablations": "repro.experiments.ablations",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tango (ICPP 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one stack on a synthetic trace")
+    _common_run_args(run)
+    run.add_argument(
+        "--stack", choices=sorted(_STACKS), default="tango",
+        help="which system to assemble",
+    )
+    run.add_argument("--out", help="write metrics JSON here")
+
+    compare = sub.add_parser("compare", help="run several stacks, same trace")
+    _common_run_args(compare)
+    compare.add_argument(
+        "--stacks",
+        default="tango,k8s-native",
+        help="comma-separated stack names",
+    )
+    compare.add_argument("--out", help="write the metrics set JSON here")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--scale", default="small", help="experiment scale preset"
+    )
+    return parser
+
+
+def _common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clusters", type=int, default=4)
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="workers per cluster; 0 draws 3-20 heterogeneously",
+    )
+    parser.add_argument("--duration", type=float, default=15.0, help="seconds")
+    parser.add_argument("--lc-rps", type=float, default=30.0)
+    parser.add_argument("--be-rps", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _build_system(stack: str, args: argparse.Namespace) -> TangoSystem:
+    factory = _STACKS[stack]
+    config = factory(
+        topology=TopologyConfig(
+            n_clusters=args.clusters,
+            workers_per_cluster=args.workers or None,
+            seed=args.seed,
+        ),
+        runner=RunnerConfig(duration_ms=args.duration * 1000.0),
+    )
+    return TangoSystem(config)
+
+
+def _build_trace(args: argparse.Namespace):
+    return SyntheticTrace(
+        TraceConfig(
+            n_clusters=args.clusters,
+            duration_ms=args.duration * 1000.0,
+            lc_peak_rps=args.lc_rps,
+            be_peak_rps=args.be_rps,
+            seed=args.seed,
+        )
+    ).generate()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = _build_system(args.stack, args)
+    metrics = system.run(_build_trace(args))
+    for key, value in metrics.summary().items():
+        print(f"{key:24s} {value:.4f}")
+    if args.out:
+        path = save_metrics(metrics, args.out)
+        print(f"\nmetrics written to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    stacks = [s.strip() for s in args.stacks.split(",") if s.strip()]
+    unknown = [s for s in stacks if s not in _STACKS]
+    if unknown:
+        print(f"unknown stacks: {unknown}", file=sys.stderr)
+        return 2
+    trace = _build_trace(args)
+    runs = {}
+    for stack in stacks:
+        runs[stack] = _build_system(stack, args).run(trace)
+    rows = comparison_table(runs)
+    columns = sorted({k for row in rows for k in row})
+    # keep "system" first for readability
+    columns = ["system"] + [c for c in columns if c != "system"]
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    if args.out:
+        path = save_metrics(runs, args.out)
+        print(f"\nmetrics set written to {path}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(_EXPERIMENTS[args.name])
+    module.main(args.scale)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(args.command)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

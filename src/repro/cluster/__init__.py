@@ -1,0 +1,19 @@
+"""Edge-cloud substrate: resources, nodes, clusters, and WAN topology."""
+
+from .cluster import EdgeCloudCluster, make_heterogeneous_workers
+from .node import AdmitDecision, ResourceManager, RunningRequest, WorkerNode
+from .resources import ResourceKind, ResourceVector
+from .topology import EdgeCloudSystem, TopologyConfig
+
+__all__ = [
+    "ResourceKind",
+    "ResourceVector",
+    "WorkerNode",
+    "RunningRequest",
+    "AdmitDecision",
+    "ResourceManager",
+    "EdgeCloudCluster",
+    "make_heterogeneous_workers",
+    "EdgeCloudSystem",
+    "TopologyConfig",
+]

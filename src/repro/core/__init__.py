@@ -1,0 +1,13 @@
+"""Tango core: configuration, system assembly, and state storage."""
+
+from .config import TangoConfig
+from .state_storage import NodeSnapshot, StateStorage, SystemSnapshot
+from .tango import TangoSystem
+
+__all__ = [
+    "TangoConfig",
+    "TangoSystem",
+    "StateStorage",
+    "SystemSnapshot",
+    "NodeSnapshot",
+]

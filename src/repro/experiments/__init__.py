@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Each module exposes ``run_*`` functions returning plain dicts (what the
+benchmarks assert on) and a ``main(scale_name)`` that prints the same rows
+the paper's figure reports.  See EXPERIMENTS.md for the paper-vs-measured
+record and benchmarks/ for the shape assertions.
+
+| module | reproduces |
+|---|---|
+| ``fig1`` | Fig. 1 — industrial edge-cloud measurement |
+| ``fig9`` | Fig. 9 — HRM vs K8s-native under P1/P2/P3 |
+| ``fig10`` | Fig. 10 — QoS re-assurance on/off |
+| ``fig11`` | Fig. 11(a-d) — scheduler comparisons + GNN ablation |
+| ``fig12`` | Fig. 12 — LC × BE pairing matrix |
+| ``fig13`` | Fig. 13 — Tango vs CERES vs DSACO |
+| ``dvpa_latency`` | §7.1 — D-VPA vs delete-and-rebuild latency |
+| ``dss_latency`` | §7.2 — DSS-LC decision time vs node count |
+| ``elasticity`` | §2.1 — HPA vs native VPA vs D-VPA under a load step |
+| ``scale_expansion`` | §7.3 — behaviour vs system size |
+| ``learning_curve`` | Fig. 11(c) time axis — online training |
+| ``ablations`` | design-choice sensitivity (thresholds, preemption, η, coordination) |
+"""
+
+from . import common
+
+__all__ = ["common"]

@@ -1,0 +1,101 @@
+"""Figure 13 — Tango vs CERES vs DSACO on large-scale hybrid clusters (§7.3).
+
+The paper's headline comparison on the dual-space testbed:
+
+* **resource utilisation** (b, c, d): Tango high and flexible; CERES lower
+  ("poor resource utilization with inflexibility"); headline **+36.9 %**
+  for Tango over CERES;
+* **LC QoS-guarantee satisfaction rate** (e): Tango better and more stable
+  than DSACO; headline **+11.3 %**;
+* **long-term BE throughput** (f): Tango's DCG-BE + HRM over CERES by
+  **+47.6 %**.
+
+Each system runs the same trace on the same (heterogeneous, multi-cluster)
+topology; only the stack differs:
+
+* Tango    = HRM + DSS-LC + DCG-BE (+ re-assurance)
+* CERES    = local elastic manager + K8s-native dispatch both sides
+* DSACO    = static manager + distributed SAC offloading both sides
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import TangoConfig
+from repro.core.tango import TangoSystem
+
+from .common import SCALES, Scale, print_table, scaled_config
+from .fig11 import _trace_for
+
+__all__ = ["run_fig13", "main"]
+
+SYSTEMS = ("tango", "ceres", "dsaco")
+
+
+def _build(name: str, scale: Scale, seed: int) -> TangoSystem:
+    factory = {
+        "tango": TangoConfig.tango,
+        "ceres": TangoConfig.ceres,
+        "dsaco": TangoConfig.dsaco,
+    }[name]
+    return TangoSystem(scaled_config(factory, scale, seed=seed))
+
+
+def run_fig13(scale_name: str = "constrained", seed: int = 1) -> Dict[str, object]:
+    scale = SCALES[scale_name]
+    result: Dict[str, object] = {}
+    for name in SYSTEMS:
+        if name == "tango":
+            # warm the DCG-BE policy once, as in the fig-11 learning arms
+            warm = _build(name, scale, seed)
+            warm.run(_trace_for(scale, 100))
+            system = TangoSystem(
+                scaled_config(TangoConfig.tango, scale, seed=seed),
+                be_scheduler=warm.be_scheduler,
+            )
+        else:
+            system = _build(name, scale, seed)
+        metrics = system.run(_trace_for(scale, seed))
+        result[name] = {
+            "utilization": metrics.mean_utilization,
+            "utilization_series": metrics.utilization,
+            "qos_rate": metrics.qos_satisfaction_rate,
+            "qos_series": metrics.qos_rate_per_period,
+            "throughput": float(metrics.be_throughput),
+            "throughput_series": metrics.be_completed_per_period,
+            "abandoned": metrics.lc_abandoned,
+        }
+    return result
+
+
+def main(scale_name: str = "constrained") -> Dict[str, object]:
+    result = run_fig13(scale_name)
+    rows = [
+        {
+            "system": name,
+            "utilization": result[name]["utilization"],
+            "qos_rate": result[name]["qos_rate"],
+            "throughput": result[name]["throughput"],
+        }
+        for name in SYSTEMS
+    ]
+    print_table("Figure 13: Tango vs CERES vs DSACO", rows)
+    tango, ceres, dsaco = (result[n] for n in SYSTEMS)
+    print(
+        f"utilization vs CERES: +{(tango['utilization'] / max(ceres['utilization'], 1e-9) - 1) * 100:.1f}% "
+        "(paper: +36.9%)"
+    )
+    print(
+        f"QoS rate vs DSACO: +{(tango['qos_rate'] / max(dsaco['qos_rate'], 1e-9) - 1) * 100:.1f}% "
+        "(paper: +11.3%)"
+    )
+    print(
+        f"throughput vs CERES: +{(tango['throughput'] / max(ceres['throughput'], 1e-9) - 1) * 100:.1f}% "
+        "(paper: +47.6%)"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    main()

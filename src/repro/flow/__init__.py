@@ -1,0 +1,23 @@
+"""Min-cost max-flow substrate (stands in for OR-Tools in DSS-LC)."""
+
+from .graph import AssignmentResult, SupplyDemandGraph, solve_transport
+from .mcmf import FlowEdge, FlowResult, MinCostMaxFlow
+from .multicommodity import (
+    Commodity,
+    MultiCommodityResult,
+    SharedLink,
+    solve_sequential,
+)
+
+__all__ = [
+    "MinCostMaxFlow",
+    "FlowEdge",
+    "FlowResult",
+    "SupplyDemandGraph",
+    "AssignmentResult",
+    "solve_transport",
+    "Commodity",
+    "SharedLink",
+    "MultiCommodityResult",
+    "solve_sequential",
+]

@@ -1,0 +1,26 @@
+"""Harmonious Resource Management: regulations, D-VPA, QoS re-assurance."""
+
+from .dvpa import DVPA, DVPA_SCALE_LATENCY_MS
+from .qos import QoSDetector, WINDOW_MS
+from .reassurance import (
+    LEVEL_EXCELLENT,
+    LEVEL_POOR,
+    LEVEL_STABLE,
+    ReassuranceConfig,
+    ReassuranceMechanism,
+)
+from .regulations import HRMConfig, HRMManager
+
+__all__ = [
+    "HRMManager",
+    "HRMConfig",
+    "DVPA",
+    "DVPA_SCALE_LATENCY_MS",
+    "QoSDetector",
+    "WINDOW_MS",
+    "ReassuranceMechanism",
+    "ReassuranceConfig",
+    "LEVEL_POOR",
+    "LEVEL_STABLE",
+    "LEVEL_EXCELLENT",
+]

@@ -1,0 +1,105 @@
+"""QoS detector: per-(node, service) latency windows and slack scores.
+
+§4.3: "the processing latency of LC service requests on each worker node is
+collected within a time window of 100 ms".  The slack score of service *k*
+on node *i* is
+
+    δ_k(n_i) = 1 − ξ_k / γ_k
+
+with ξ_k the p95 tail latency inside the window and γ_k the QoS target.
+Negative slack means the target is violated; the re-assurance mechanism
+(Algorithm 1) consumes these scores.  The same detector feeds the ``δ_k``
+field of DCG-BE's node state (§5.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.spec import ServiceSpec
+
+__all__ = ["QoSDetector", "WINDOW_MS"]
+
+#: §4.3 collection window.
+WINDOW_MS = 100.0
+
+
+@dataclass
+class _Sample:
+    completed_ms: float
+    latency_ms: float
+
+
+class QoSDetector:
+    """Sliding-window tail-latency tracker."""
+
+    def __init__(self, window_ms: float = WINDOW_MS, min_keep: int = 8) -> None:
+        self.window_ms = window_ms
+        #: keep at least this many samples so p95 stays defined in quiet
+        #: windows (the detector would otherwise flap between ticks).
+        self.min_keep = min_keep
+        self._samples: Dict[Tuple[str, str], Deque[_Sample]] = defaultdict(deque)
+
+    def observe(
+        self,
+        node: str,
+        service: str,
+        completed_ms: float,
+        latency_ms: float,
+    ) -> None:
+        key = (node, service)
+        window = self._samples[key]
+        window.append(_Sample(completed_ms, latency_ms))
+        self._expire(window, completed_ms)
+
+    def _expire(self, window: Deque[_Sample], now_ms: float) -> None:
+        while (
+            len(window) > self.min_keep
+            and window[0].completed_ms < now_ms - self.window_ms
+        ):
+            window.popleft()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def tail_latency_ms(
+        self, node: str, service: str, percentile: float = 95.0
+    ) -> Optional[float]:
+        window = self._samples.get((node, service))
+        if not window:
+            return None
+        values = [s.latency_ms for s in window]
+        return float(np.percentile(values, percentile))
+
+    def slack_score(
+        self, node: str, service: str, spec: ServiceSpec
+    ) -> Optional[float]:
+        """δ = 1 − ξ/γ; None when no samples exist yet."""
+        if not spec.is_lc or not np.isfinite(spec.qos_target_ms):
+            return None
+        tail = self.tail_latency_ms(node, service)
+        if tail is None:
+            return None
+        return 1.0 - tail / spec.qos_target_ms
+
+    def sample_count(self, node: str, service: str) -> int:
+        window = self._samples.get((node, service))
+        return len(window) if window else 0
+
+    def node_min_slack(self, node: str, specs: Dict[str, ServiceSpec]) -> float:
+        """Worst slack over LC services on a node (DCG-BE state feature)."""
+        scores = []
+        for (n, service), _ in self._samples.items():
+            if n != node:
+                continue
+            spec = specs.get(service)
+            if spec is None or not spec.is_lc:
+                continue
+            s = self.slack_score(n, service, spec)
+            if s is not None:
+                scores.append(s)
+        return min(scores) if scores else 1.0

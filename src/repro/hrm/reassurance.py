@@ -1,0 +1,141 @@
+"""QoS re-assurance mechanism — Algorithm 1 of the paper (§4.3).
+
+For every worker node and LC service, the mechanism compares the slack score
+δ against two empirical thresholds:
+
+* ``δ < α``  (poor)      → *increase* the minimum requested resource amount;
+* ``δ > β``  (excellent) → *decrease* it;
+* otherwise  (stable)    → leave it alone.
+
+"To minimize resource perturbations, the mechanism operates at a high
+frequency with a small proportion": adjustments are multiplicative with a
+small step and clamped between a floor (a fraction of the catalog minimum)
+and a ceiling (a multiple of the reference allocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.resources import ResourceVector
+from repro.workloads.spec import ServiceSpec
+
+from .qos import QoSDetector
+
+__all__ = [
+    "ReassuranceConfig",
+    "ReassuranceMechanism",
+    "LEVEL_POOR",
+    "LEVEL_STABLE",
+    "LEVEL_EXCELLENT",
+]
+
+
+@dataclass
+class ReassuranceConfig:
+    #: slack below which performance is "poor" (α in Algorithm 1).  The
+    #: paper sets the thresholds empirically; α=0.25 reacts before the p95
+    #: actually crosses the target (slack < 0), keeping violations rare.
+    alpha: float = 0.25
+    #: slack above which performance is "excellent" (β in Algorithm 1):
+    #: above it the service is over-provisioned and its minimum shrinks,
+    #: freeing resources for BE work.
+    beta: float = 0.45
+    #: multiplicative step applied on each adjustment ("small proportion").
+    increase_step: float = 1.10
+    decrease_step: float = 0.96
+    #: bounds relative to the catalog values.
+    floor_fraction: float = 0.6
+    ceiling_multiple: float = 1.6
+    #: how often the mechanism runs (ms); paper: every 100 ms window.
+    period_ms: float = 100.0
+
+
+# Quality-performance levels from §4.3 (kept as plain strings so they can be
+# used directly as dict keys in counters and reports).
+LEVEL_POOR = "poor"
+LEVEL_STABLE = "stable"
+LEVEL_EXCELLENT = "excellent"
+
+
+class ReassuranceMechanism:
+    """Maintains the adjusted per-(node, service) minimum request amounts."""
+
+    def __init__(
+        self,
+        detector: QoSDetector,
+        config: Optional[ReassuranceConfig] = None,
+    ) -> None:
+        self.detector = detector
+        self.config = config or ReassuranceConfig()
+        if not self.config.alpha < self.config.beta:
+            raise ValueError("require alpha < beta")
+        self._min_resources: Dict[Tuple[str, str], ResourceVector] = {}
+        self._last_run_ms: float = -1e18
+        self.adjustments = {LEVEL_POOR: 0, LEVEL_EXCELLENT: 0, LEVEL_STABLE: 0}
+
+    # ------------------------------------------------------------------ #
+    # state access
+    # ------------------------------------------------------------------ #
+    def min_resources(self, node: str, spec: ServiceSpec) -> ResourceVector:
+        """Current minimum allocation for one request of ``spec`` on node."""
+        return self._min_resources.get((node, spec.name), spec.min_resources)
+
+    def classify(self, node: str, spec: ServiceSpec) -> str:
+        slack = self.detector.slack_score(node, spec.name, spec)
+        if slack is None:
+            return LEVEL_STABLE
+        if slack < self.config.alpha:
+            return LEVEL_POOR
+        if slack > self.config.beta:
+            return LEVEL_EXCELLENT
+        return LEVEL_STABLE
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        now_ms: float,
+        nodes: Dict[str, Dict[str, ServiceSpec]],
+    ) -> int:
+        """One pass over (node, LC service) pairs; returns adjustment count.
+
+        ``nodes`` maps node name → {service name: spec} for the LC services
+        active on that node.  Respects the configured period: calls between
+        periods are no-ops, so the caller can invoke it every tick.
+        """
+        if now_ms - self._last_run_ms < self.config.period_ms:
+            return 0
+        self._last_run_ms = now_ms
+        changed = 0
+        for node, services in nodes.items():
+            for name, spec in services.items():
+                if not spec.is_lc:
+                    continue
+                level = self.classify(node, spec)
+                self.adjustments[level] += 1
+                if level == LEVEL_POOR:
+                    self._scale(node, spec, self.config.increase_step)
+                    changed += 1
+                elif level == LEVEL_EXCELLENT:
+                    self._scale(node, spec, self.config.decrease_step)
+                    changed += 1
+        return changed
+
+    def _scale(self, node: str, spec: ServiceSpec, factor: float) -> None:
+        current = self.min_resources(node, spec)
+        scaled = current * factor
+        floor = spec.min_resources * self.config.floor_fraction
+        ceiling = spec.reference_resources * self.config.ceiling_multiple
+        self._min_resources[(node, spec.name)] = scaled.max_with(floor).min_with(
+            ceiling
+        )
+
+    def reset(self, node: Optional[str] = None) -> None:
+        if node is None:
+            self._min_resources.clear()
+        else:
+            for key in [k for k in self._min_resources if k[0] == node]:
+                del self._min_resources[key]

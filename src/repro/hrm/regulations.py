@@ -1,0 +1,228 @@
+"""Resource usage regulations — the HRM resource manager (§4.1).
+
+The regulations give LC services strict priority over BE services throughout
+scheduling and processing:
+
+* LC requests may use idle resources *and* resources currently held by BE
+  services, preferring the former;
+* when idle resources cannot satisfy a pending LC request's minimum
+  requirement, preemption is allowed — **compressible** resources (CPU,
+  bandwidth) are squeezed out of running BE containers instantly, while
+  **incompressible** resources (memory, disk) are reclaimed by *evicting*
+  running BE services, which restart later;
+* BE services, in turn, "aim to maximize idle resources": the manager grows
+  their allocations toward (and slightly past) their reference whenever the
+  node has slack, and shrinks them again under LC pressure.
+
+Every allocation change flows through the node's D-VPA instance, so each
+admission carries the in-place scaling latency (~23 ms) instead of a
+container restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.node import AdmitDecision, RunningRequest, WorkerNode
+from repro.cluster.resources import ResourceVector
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceSpec
+
+from .dvpa import DVPA
+from .qos import QoSDetector
+from .reassurance import ReassuranceMechanism
+
+__all__ = ["HRMConfig", "HRMManager"]
+
+
+@dataclass
+class HRMConfig:
+    #: lowest CPU fraction (of the catalog minimum) a squeezed BE keeps.
+    be_squeeze_floor: float = 0.25
+    #: per-tick fraction of the gap to reference closed when expanding BE.
+    be_expand_rate: float = 0.35
+    #: BE allocations may grow to this multiple of their reference.
+    be_expand_cap: float = 1.2
+    #: charge D-VPA scaling latency on admissions (set False for ablations).
+    charge_dvpa_latency: bool = True
+
+
+class HRMManager:
+    """Harmonious Resource Management for one or more worker nodes.
+
+    One instance can serve a whole cluster: all per-node state is keyed by
+    node name (D-VPA instances, adjusted minima via the shared re-assurance
+    mechanism).
+    """
+
+    def __init__(
+        self,
+        detector: QoSDetector,
+        reassurance: ReassuranceMechanism,
+        config: Optional[HRMConfig] = None,
+        *,
+        detailed_cgroups: bool = False,
+    ) -> None:
+        self.detector = detector
+        self.reassurance = reassurance
+        self.config = config or HRMConfig()
+        self.detailed_cgroups = detailed_cgroups
+        self._dvpa: Dict[str, DVPA] = {}
+        self.preemption_squeezes = 0
+        self.preemption_evictions = 0
+
+    def dvpa_for(self, node_name: str) -> DVPA:
+        if node_name not in self._dvpa:
+            self._dvpa[node_name] = DVPA(node_name, detailed=self.detailed_cgroups)
+        return self._dvpa[node_name]
+
+    # ------------------------------------------------------------------ #
+    # ResourceManager interface
+    # ------------------------------------------------------------------ #
+    def admit(
+        self, node: WorkerNode, request: ServiceRequest, now_ms: float
+    ) -> Optional[AdmitDecision]:
+        spec = request.spec
+        demand = self._demand_for(node, spec)
+        free = node.free()
+        evicted: List[RunningRequest] = []
+
+        if not demand.fits_in(free):
+            if not request.is_lc:
+                return None  # BE never preempts anyone
+            # LC preemption path: squeeze compressible, evict incompressible.
+            freed = self._squeeze_be_cpu(node, demand.cpu - free.cpu)
+            free = node.free()
+            if not demand.fits_in(free):
+                evicted = self._select_evictions(node, demand, free)
+                if evicted is None:
+                    return None
+                freed_by_eviction = ResourceVector()
+                for rr in evicted:
+                    freed_by_eviction = freed_by_eviction + rr.allocation
+                if not demand.fits_in(free + freed_by_eviction):
+                    return None
+                self.preemption_evictions += len(evicted)
+            if freed > 0:
+                self.preemption_squeezes += 1
+
+        overhead = 0.0
+        if self.config.charge_dvpa_latency:
+            overhead = self.dvpa_for(node.name).grow(spec.name, demand)
+        return AdmitDecision(
+            allocation=demand, overhead_ms=overhead, evicted=evicted or []
+        )
+
+    def on_complete(
+        self, node: WorkerNode, running: RunningRequest, now_ms: float
+    ) -> None:
+        spec = running.request.spec
+        self.dvpa_for(node.name).release(spec.name, running.allocation)
+        if spec.is_lc:
+            latency = running.request.total_latency_ms()
+            if latency is not None:
+                self.detector.observe(node.name, spec.name, now_ms, latency)
+
+    def tick(self, node: WorkerNode, now_ms: float) -> None:
+        """Grow BE allocations into idle resources (Fig. 4(a) idle phase)."""
+        free = node.free()
+        if free.cpu <= 1e-6 and free.memory <= 1e-6:
+            return
+        cfg = self.config
+        candidates = [
+            rr
+            for rr in node.running_be()
+            if rr.allocation.cpu
+            < rr.request.spec.reference_resources.cpu * cfg.be_expand_cap
+        ]
+        if not candidates:
+            return
+        for rr in candidates:
+            free = node.free()
+            if free.cpu <= 1e-6:
+                break
+            ref = rr.request.spec.reference_resources
+            target_cpu = min(
+                ref.cpu * cfg.be_expand_cap,
+                rr.allocation.cpu
+                + cfg.be_expand_rate * max(0.0, ref.cpu - rr.allocation.cpu)
+                + 0.05,
+            )
+            grow_cpu = min(max(0.0, target_cpu - rr.allocation.cpu), free.cpu)
+            grow_mem = 0.0
+            if rr.allocation.memory < ref.memory:
+                grow_mem = min(ref.memory - rr.allocation.memory, free.memory)
+            if grow_cpu <= 1e-6 and grow_mem <= 1e-6:
+                continue
+            new_alloc = ResourceVector(
+                cpu=rr.allocation.cpu + grow_cpu,
+                memory=rr.allocation.memory + grow_mem,
+                bandwidth=rr.allocation.bandwidth,
+                disk=rr.allocation.disk,
+            )
+            node.adjust_running_allocation(rr, new_alloc)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _demand_for(self, node: WorkerNode, spec: ServiceSpec) -> ResourceVector:
+        """Minimum request allocation, as adjusted by re-assurance (LC)."""
+        if spec.is_lc:
+            return self.reassurance.min_resources(node.name, spec)
+        return spec.min_resources
+
+    def _squeeze_be_cpu(self, node: WorkerNode, missing_cpu: float) -> float:
+        """Reclaim compressible CPU from running BE; returns amount freed."""
+        if missing_cpu <= 0:
+            return 0.0
+        freed = 0.0
+        floor_frac = self.config.be_squeeze_floor
+        for rr in sorted(
+            node.running_be(), key=lambda r: r.allocation.cpu, reverse=True
+        ):
+            if freed >= missing_cpu:
+                break
+            floor = rr.request.spec.min_resources.cpu * floor_frac
+            reducible = max(0.0, rr.allocation.cpu - floor)
+            take = min(reducible, missing_cpu - freed)
+            if take <= 1e-9:
+                continue
+            node.adjust_running_allocation(
+                rr,
+                ResourceVector(
+                    cpu=rr.allocation.cpu - take,
+                    memory=rr.allocation.memory,
+                    bandwidth=rr.allocation.bandwidth,
+                    disk=rr.allocation.disk,
+                ),
+            )
+            freed += take
+        return freed
+
+    def _select_evictions(
+        self,
+        node: WorkerNode,
+        demand: ResourceVector,
+        free: ResourceVector,
+    ) -> Optional[List[RunningRequest]]:
+        """Pick BE victims until incompressible demand fits; None if hopeless.
+
+        Victims with the *most remaining work fraction* go first, minimising
+        wasted progress.
+        """
+        victims: List[RunningRequest] = []
+        freed = ResourceVector()
+        candidates = sorted(
+            node.running_be(),
+            key=lambda r: r.remaining_ms / max(1.0, r.request.spec.base_service_ms),
+            reverse=True,
+        )
+        for rr in candidates:
+            if demand.fits_in(free + freed):
+                break
+            victims.append(rr)
+            freed = freed + rr.allocation
+        if not demand.fits_in(free + freed):
+            return None
+        return victims

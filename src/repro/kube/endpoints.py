@@ -1,0 +1,109 @@
+"""Endpoints controller: Service → ready pod endpoints, kept fresh by watch.
+
+In K8s, the endpoints controller lists the pods a Service's selector matches
+and publishes the *ready* ones; kube-proxy then load-balances across that
+endpoint set.  This module reproduces the behaviour: an
+:class:`EndpointsResolver` subscribes to the API server's Pod and Service
+watch streams and maintains the endpoint sets incrementally, so lookups are
+O(1) per request — which is what lets the round-robin baseline run at
+request rate inside the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from .api_server import ApiServer, EventType, WatchEvent
+from .objects import Pod, PodPhase, ServiceObject
+from .scheduler import RoundRobinProxy
+
+__all__ = ["EndpointsResolver"]
+
+
+class EndpointsResolver:
+    """Watch-driven Service endpoint index with a round-robin front."""
+
+    def __init__(self, api: ApiServer) -> None:
+        self.api = api
+        self._services: Dict[str, ServiceObject] = {}
+        #: service name → set of "namespace/pod" keys currently ready.
+        self._endpoints: Dict[str, Set[str]] = {}
+        #: pod key → node name (what the proxy ultimately routes to).
+        self._pod_nodes: Dict[str, str] = {}
+        self.proxy = RoundRobinProxy()
+        self._cancel_pod = api.watch(self._on_pod_event, kind="Pod")
+        self._cancel_svc = api.watch(self._on_service_event, kind="Service")
+        # bootstrap from current state
+        for svc in api.list("Service"):
+            self._add_service(svc)
+        for pod in api.list("Pod"):
+            self._index_pod(pod)
+
+    # ------------------------------------------------------------------ #
+    # watch handlers
+    # ------------------------------------------------------------------ #
+    def _on_service_event(self, event: WatchEvent) -> None:
+        svc: ServiceObject = event.obj
+        if event.type is EventType.DELETED:
+            self._services.pop(svc.name, None)
+            self._endpoints.pop(svc.name, None)
+            self.proxy.reset(svc.name)
+        else:
+            self._add_service(svc)
+
+    def _add_service(self, svc: ServiceObject) -> None:
+        self._services[svc.name] = svc
+        members: Set[str] = set()
+        for pod in self.api.list("Pod", svc.namespace):
+            if self._pod_ready(pod) and svc.matches(pod):
+                members.add(pod.key())
+                self._pod_nodes[pod.key()] = pod.spec.node_name or ""
+        self._endpoints[svc.name] = members
+
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        pod: Pod = event.obj
+        if event.type is EventType.DELETED:
+            self._drop_pod(pod)
+        else:
+            self._index_pod(pod)
+
+    def _index_pod(self, pod: Pod) -> None:
+        key = pod.key()
+        ready = self._pod_ready(pod)
+        if ready:
+            self._pod_nodes[key] = pod.spec.node_name or ""
+        for name, svc in self._services.items():
+            members = self._endpoints.setdefault(name, set())
+            if ready and svc.matches(pod):
+                members.add(key)
+            else:
+                members.discard(key)
+
+    def _drop_pod(self, pod: Pod) -> None:
+        key = pod.key()
+        self._pod_nodes.pop(key, None)
+        for members in self._endpoints.values():
+            members.discard(key)
+
+    @staticmethod
+    def _pod_ready(pod: Pod) -> bool:
+        return pod.phase is PodPhase.RUNNING and not pod.deleted
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def endpoints(self, service: str) -> List[str]:
+        """Sorted ready pod keys backing a service ([] when unknown)."""
+        return sorted(self._endpoints.get(service, ()))
+
+    def route(self, service: str) -> Optional[str]:
+        """Round-robin one request: returns the target *node* name."""
+        eps = self.endpoints(service)
+        pod_key = self.proxy.next_endpoint(service, eps)
+        if pod_key is None:
+            return None
+        return self._pod_nodes.get(pod_key) or None
+
+    def close(self) -> None:
+        self._cancel_pod()
+        self._cancel_svc()

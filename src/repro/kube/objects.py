@@ -1,0 +1,165 @@
+"""Typed Kubernetes API objects used by the behaviour-level K8s simulation.
+
+Tango is "backwards compatible with Kubernetes" (§3): its components speak to
+a standard API server, pods carry the usual QoS classes, and the D-VPA acts
+on the same cgroup hierarchy the kubelet builds.  This module defines the
+subset of the K8s object model the reproduction needs: Pods with container
+resource requests/limits, Nodes with capacities, and Services selecting pods.
+
+Only fields the simulation reads are modelled; everything follows K8s
+semantics (e.g. :func:`qos_class_of` mirrors how kubelet classifies pods into
+Guaranteed / Burstable / BestEffort from requests vs limits).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.cluster.resources import ResourceVector, ZERO
+
+__all__ = [
+    "QoSClass",
+    "PodPhase",
+    "ContainerSpec",
+    "PodSpec",
+    "Pod",
+    "NodeInfo",
+    "ServiceObject",
+    "qos_class_of",
+]
+
+_uid_counter = itertools.count(1)
+
+
+def _next_uid(prefix: str) -> str:
+    return f"{prefix}-{next(_uid_counter):08x}"
+
+
+class QoSClass(str, Enum):
+    """K8s pod QoS classes; HRM maps LC→Guaranteed/Burstable, BE→BestEffort."""
+
+    GUARANTEED = "Guaranteed"
+    BURSTABLE = "Burstable"
+    BEST_EFFORT = "BestEffort"
+
+
+class PodPhase(str, Enum):
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class ContainerSpec:
+    """One container: requests are scheduler-visible, limits are cgroup caps."""
+
+    name: str
+    requests: ResourceVector = ZERO
+    limits: ResourceVector = ZERO
+
+    def effective_limits(self) -> ResourceVector:
+        """Limits default to requests when unset (K8s admission behaviour)."""
+        if self.limits.is_zero() and not self.requests.is_zero():
+            return self.requests
+        return self.limits
+
+
+@dataclass
+class PodSpec:
+    containers: List[ContainerSpec] = field(default_factory=list)
+    node_name: Optional[str] = None
+    #: service this pod backs; used by Service endpoints and by HRM to know
+    #: whether the pod hosts an LC or a BE workload.
+    service_name: Optional[str] = None
+    priority: int = 0
+
+    def total_requests(self) -> ResourceVector:
+        total = ZERO
+        for c in self.containers:
+            total = total + c.requests
+        return total
+
+    def total_limits(self) -> ResourceVector:
+        total = ZERO
+        for c in self.containers:
+            total = total + c.effective_limits()
+        return total
+
+
+@dataclass
+class Pod:
+    name: str
+    spec: PodSpec
+    namespace: str = "default"
+    uid: str = field(default_factory=lambda: _next_uid("pod"))
+    labels: Dict[str, str] = field(default_factory=dict)
+    phase: PodPhase = PodPhase.PENDING
+    #: simulation time (ms) at which the containers became ready.
+    started_at_ms: Optional[float] = None
+    deleted: bool = False
+
+    @property
+    def qos_class(self) -> QoSClass:
+        return qos_class_of(self.spec)
+
+    def key(self) -> str:
+        return f"{self.namespace}/{self.name}"
+
+
+def qos_class_of(spec: PodSpec) -> QoSClass:
+    """Classify a pod exactly as kubelet does.
+
+    * Guaranteed: every container sets requests == limits on CPU and memory.
+    * BestEffort: no container sets any request or limit.
+    * Burstable: everything else.
+    """
+    if not spec.containers:
+        return QoSClass.BEST_EFFORT
+    any_set = False
+    all_guaranteed = True
+    for c in spec.containers:
+        req, lim = c.requests, c.effective_limits()
+        if not req.is_zero() or not lim.is_zero():
+            any_set = True
+        if (
+            req.cpu <= 0
+            or req.memory <= 0
+            or abs(req.cpu - lim.cpu) > 1e-9
+            or abs(req.memory - lim.memory) > 1e-9
+        ):
+            all_guaranteed = False
+    if not any_set:
+        return QoSClass.BEST_EFFORT
+    return QoSClass.GUARANTEED if all_guaranteed else QoSClass.BURSTABLE
+
+
+@dataclass
+class NodeInfo:
+    """A worker node as seen by the API server."""
+
+    name: str
+    capacity: ResourceVector
+    labels: Dict[str, str] = field(default_factory=dict)
+    uid: str = field(default_factory=lambda: _next_uid("node"))
+    ready: bool = True
+
+    def allocatable(self, system_reserved: float = 0.05) -> ResourceVector:
+        """Capacity minus the system-reserved slice (kubelet behaviour)."""
+        return self.capacity * (1.0 - system_reserved)
+
+
+@dataclass
+class ServiceObject:
+    """A K8s Service: selects pods by label and load-balances over them."""
+
+    name: str
+    selector: Dict[str, str] = field(default_factory=dict)
+    namespace: str = "default"
+    uid: str = field(default_factory=lambda: _next_uid("svc"))
+
+    def matches(self, pod: Pod) -> bool:
+        return all(pod.labels.get(k) == v for k, v in self.selector.items())

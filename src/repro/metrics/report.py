@@ -1,0 +1,120 @@
+"""Experiment result persistence and comparison reports.
+
+Benchmarks and examples produce :class:`repro.metrics.collectors.RunMetrics`
+objects; this module serialises them to JSON (so EXPERIMENTS.md numbers are
+regenerable artifacts, not copy-paste), loads them back, and renders
+side-by-side comparisons between systems.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .collectors import RunMetrics
+
+__all__ = [
+    "metrics_to_dict",
+    "metrics_from_dict",
+    "save_metrics",
+    "load_metrics",
+    "comparison_table",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict:
+    payload = asdict(metrics)
+    payload["_schema"] = _SCHEMA_VERSION
+    payload["_derived"] = {
+        "qos_satisfaction_rate": metrics.qos_satisfaction_rate,
+        "be_throughput": metrics.be_throughput,
+        "mean_utilization": metrics.mean_utilization,
+        "lc_tail_latency_ms": metrics.lc_tail_latency_ms(),
+    }
+    return payload
+
+
+def metrics_from_dict(payload: Dict) -> RunMetrics:
+    if payload.get("_schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported metrics schema {payload.get('_schema')!r}"
+        )
+    fields = {
+        k: v for k, v in payload.items() if not k.startswith("_")
+    }
+    return RunMetrics(**fields)
+
+
+def save_metrics(
+    metrics: Union[RunMetrics, Dict[str, RunMetrics]],
+    path: Union[str, Path],
+) -> Path:
+    """Write one RunMetrics, or a {label: RunMetrics} set, as JSON."""
+    path = Path(path)
+    if isinstance(metrics, RunMetrics):
+        payload: Dict = metrics_to_dict(metrics)
+    else:
+        payload = {
+            "_schema": _SCHEMA_VERSION,
+            "_set": {k: metrics_to_dict(v) for k, v in metrics.items()},
+        }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_metrics(
+    path: Union[str, Path]
+) -> Union[RunMetrics, Dict[str, RunMetrics]]:
+    payload = json.loads(Path(path).read_text())
+    if "_set" in payload:
+        return {
+            k: metrics_from_dict(v) for k, v in payload["_set"].items()
+        }
+    return metrics_from_dict(payload)
+
+
+def comparison_table(
+    runs: Dict[str, RunMetrics],
+    baseline: Optional[str] = None,
+) -> List[Dict[str, object]]:
+    """Rows comparing runs on the headline metrics, with deltas vs baseline.
+
+    ``baseline`` defaults to the first key; deltas are relative percentages
+    on throughput/utilisation and absolute points on the QoS rate.
+    """
+    if not runs:
+        return []
+    labels = list(runs)
+    base_label = baseline or labels[0]
+    if base_label not in runs:
+        raise KeyError(base_label)
+    base = runs[base_label]
+    rows: List[Dict[str, object]] = []
+    for label in labels:
+        m = runs[label]
+        row: Dict[str, object] = {
+            "system": label,
+            "qos_rate": round(m.qos_satisfaction_rate, 4),
+            "throughput": m.be_throughput,
+            "utilization": round(m.mean_utilization, 4),
+        }
+        if label != base_label:
+            row["qos_vs_base"] = round(
+                m.qos_satisfaction_rate - base.qos_satisfaction_rate, 4
+            )
+            if base.be_throughput:
+                row["thr_vs_base_pct"] = round(
+                    (m.be_throughput / base.be_throughput - 1.0) * 100.0, 1
+                )
+            if base.mean_utilization:
+                row["util_vs_base_pct"] = round(
+                    (m.mean_utilization / base.mean_utilization - 1.0) * 100.0,
+                    1,
+                )
+        rows.append(row)
+    return rows

@@ -1,0 +1,53 @@
+"""Sliding-window statistics helpers shared by the metrics pipeline."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["percentile", "TimeWindow"]
+
+
+def percentile(values: Iterable[float], q: float) -> Optional[float]:
+    """q-th percentile, None for empty input (avoids numpy warnings)."""
+    data = list(values)
+    if not data:
+        return None
+    return float(np.percentile(data, q))
+
+
+class TimeWindow:
+    """Keeps (time, value) samples inside a moving horizon."""
+
+    def __init__(self, horizon_ms: float) -> None:
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon_ms = horizon_ms
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def add(self, time_ms: float, value: float) -> None:
+        self._samples.append((time_ms, value))
+        self._expire(time_ms)
+
+    def _expire(self, now_ms: float) -> None:
+        cutoff = now_ms - self.horizon_ms
+        while self._samples and self._samples[0][0] < cutoff:
+            self._samples.popleft()
+
+    def values(self) -> List[float]:
+        return [v for _, v in self._samples]
+
+    def mean(self) -> Optional[float]:
+        vals = self.values()
+        return float(np.mean(vals)) if vals else None
+
+    def p95(self) -> Optional[float]:
+        return percentile(self.values(), 95.0)
+
+    def count(self) -> int:
+        return len(self._samples)
+
+    def sum(self) -> float:
+        return float(sum(v for _, v in self._samples))

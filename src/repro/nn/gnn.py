@@ -1,0 +1,264 @@
+"""Graph encoders for DCG-BE: GraphSAGE (the paper's choice) and ablations.
+
+The paper encodes the global edge-cloud topology with a two-hop GraphSAGE
+network using mean aggregation over ``p`` sampled neighbours (Eq. 9), and
+ablates against GCN, GAT, and a plain MLP ("Native-A2C") in Fig. 11(d).
+
+All encoders share one computational form per layer::
+
+    H^{l+1} = relu(A_l @ H^l @ W_l + b_l)
+
+where ``A_l`` is a (row-stochastic or normalised) aggregation matrix built
+from the topology.  This makes forward and backward pure matrix algebra:
+
+* **GraphSAGE** — row ``i`` of ``A`` averages over ``{i} ∪ sample_p(N(i))``;
+  the neighbour sample is redrawn per forward pass (inductive, per the paper).
+* **GCN** — symmetric normalisation ``D^-1/2 (A+I) D^-1/2`` over the full
+  neighbourhood (transductive; no sampling).
+* **GAT** — attention coefficients ``softmax_j(leaky_relu(a^T [Wh_i || Wh_j]))``
+  computed per forward pass.  Gradients flow through the value path only; the
+  attention coefficients themselves are treated as constants in backward (a
+  straight-through simplification that preserves learning behaviour at this
+  scale and keeps the substrate small — documented here as a deliberate
+  deviation).
+* **IdentityEncoder** — no aggregation; reproduces the "Native-A2C" ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = [
+    "GraphEncoder",
+    "GraphSAGEEncoder",
+    "GCNEncoder",
+    "GATEncoder",
+    "IdentityEncoder",
+    "adjacency_from_edges",
+]
+
+
+def adjacency_from_edges(n_nodes: int, edges: Sequence[tuple]) -> List[List[int]]:
+    """Undirected adjacency list from ``(u, v)`` pairs (self-loops ignored)."""
+    adj: List[List[int]] = [[] for _ in range(n_nodes)]
+    seen = set()
+    for u, v in edges:
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        adj[u].append(v)
+        adj[v].append(u)
+    return adj
+
+
+class GraphEncoder(Layer):
+    """Base: stack of aggregation+dense layers mapping (N, F) → (N, D).
+
+    Two layer forms are supported, selected by ``separate_self``:
+
+    * ``False`` (GCN/GAT/Identity): ``H' = relu(A @ H @ W + b)`` where the
+      aggregation matrix ``A`` already mixes the node itself.
+    * ``True`` (GraphSAGE): ``H' = relu(H @ W_self + (A @ H) @ W_neigh + b)``
+      — the CONCAT form of Hamilton et al. expressed as two weight blocks,
+      which preserves each node's own features through deep aggregation.
+      (A pure mean over ``{i} ∪ N(i)`` shrinks the self signal to ~(1/deg)^L
+      after L hops, leaving the downstream actor unable to tell nodes of one
+      LAN clique apart.)
+    """
+
+    separate_self = False
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.rng = rng
+        sizes = [in_features, *hidden]
+        self.weights: List[np.ndarray] = []
+        self.self_weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fin, fout in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fin)
+            self.weights.append(rng.normal(0.0, scale, size=(fin, fout)))
+            self.biases.append(np.zeros(fout))
+            if self.separate_self:
+                self.self_weights.append(
+                    rng.normal(0.0, scale, size=(fin, fout))
+                )
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            self.params.extend([w, b])
+            self.grads.extend([np.zeros_like(w), np.zeros_like(b)])
+            if self.separate_self:
+                ws = self.self_weights[i]
+                self.params.append(ws)
+                self.grads.append(np.zeros_like(ws))
+        self.out_features = sizes[-1]
+        # caches for backward
+        self._agg_mats: List[np.ndarray] = []
+        self._inputs: List[np.ndarray] = []
+        self._selves: List[np.ndarray] = []
+        self._masks: List[np.ndarray] = []
+
+    def _stride(self) -> int:
+        return 3 if self.separate_self else 2
+
+    # -- topology hook -------------------------------------------------- #
+    def aggregation_matrix(
+        self, adj: List[List[int]], h: np.ndarray, layer: int
+    ) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- forward/backward ------------------------------------------------ #
+    def encode(self, features: np.ndarray, adj: List[List[int]]) -> np.ndarray:
+        """Run all hops; caches intermediates for :meth:`backward`."""
+        h = np.asarray(features, dtype=np.float64)
+        self._agg_mats, self._inputs, self._selves, self._masks = [], [], [], []
+        for layer, (w, b) in enumerate(zip(self.weights, self.biases)):
+            a = self.aggregation_matrix(adj, h, layer)
+            agg = a @ h
+            z = agg @ w + b
+            if self.separate_self:
+                z = z + h @ self.self_weights[layer]
+                self._selves.append(h)
+            mask = z > 0.0
+            new_h = z * mask
+            self._agg_mats.append(a)
+            self._inputs.append(agg)
+            self._masks.append(mask)
+            h = new_h
+        return h
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise TypeError("GraphEncoder needs a topology; call encode() instead")
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through all hops; accumulates into ``self.grads``."""
+        stride = self._stride()
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grad = grad * self._masks[layer]
+            self.grads[stride * layer] += self._inputs[layer].T @ grad
+            self.grads[stride * layer + 1] += grad.sum(axis=0)
+            grad_h = self._agg_mats[layer].T @ (grad @ self.weights[layer].T)
+            if self.separate_self:
+                self.grads[stride * layer + 2] += self._selves[layer].T @ grad
+                grad_h = grad_h + grad @ self.self_weights[layer].T
+            grad = grad_h
+        return grad
+
+
+class GraphSAGEEncoder(GraphEncoder):
+    """GraphSAGE with neighbour sampling (Eq. 9: p samples, L=2 hops).
+
+    Uses the CONCAT layer form (``separate_self``): the aggregation matrix
+    means over the *sampled neighbours only*, and the node's own vector takes
+    the dedicated self-weight path.
+    """
+
+    separate_self = True
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        sample_size: int = 3,
+    ) -> None:
+        if sample_size < 1:
+            raise ValueError("sample_size must be >= 1")
+        self.sample_size = sample_size
+        super().__init__(in_features, hidden, rng)
+
+    def aggregation_matrix(
+        self, adj: List[List[int]], h: np.ndarray, layer: int
+    ) -> np.ndarray:
+        n = len(adj)
+        a = np.zeros((n, n))
+        p = self.sample_size
+        for i in range(n):
+            neigh = adj[i]
+            if len(neigh) > p:
+                chosen = self.rng.choice(len(neigh), size=p, replace=False)
+                neigh = [neigh[c] for c in chosen]
+            if not neigh:
+                continue  # isolated node: only the self path contributes
+            weight = 1.0 / len(neigh)
+            for j in neigh:
+                a[i, j] += weight
+        return a
+
+
+class GCNEncoder(GraphEncoder):
+    """Kipf-Welling GCN: ``D^-1/2 (A+I) D^-1/2`` aggregation, no sampling."""
+
+    def aggregation_matrix(
+        self, adj: List[List[int]], h: np.ndarray, layer: int
+    ) -> np.ndarray:
+        n = len(adj)
+        a = np.eye(n)
+        for i in range(n):
+            for j in adj[i]:
+                a[i, j] = 1.0
+        deg = a.sum(axis=1)
+        d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+        return a * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+class GATEncoder(GraphEncoder):
+    """Single-head graph attention; attention weights are stop-gradient."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int],
+        rng: np.random.Generator,
+        *,
+        leaky_slope: float = 0.2,
+    ) -> None:
+        super().__init__(in_features, hidden, rng)
+        self.leaky_slope = leaky_slope
+        # one attention vector per layer over the layer's *input* features
+        sizes = [in_features, *hidden]
+        self.att_vectors: List[np.ndarray] = [
+            rng.normal(0.0, 0.1, size=(2 * fin,)) for fin in sizes[:-1]
+        ]
+
+    def aggregation_matrix(
+        self, adj: List[List[int]], h: np.ndarray, layer: int
+    ) -> np.ndarray:
+        n = len(adj)
+        att = self.att_vectors[layer]
+        fin = h.shape[1]
+        a_self = h @ att[:fin]
+        a_neigh = h @ att[fin:]
+        mat = np.full((n, n), -np.inf)
+        for i in range(n):
+            members = [i, *adj[i]]
+            scores = a_self[i] + a_neigh[members]
+            scores = np.where(
+                scores > 0, scores, self.leaky_slope * scores
+            )
+            scores -= scores.max()
+            e = np.exp(scores)
+            mat[i, members] = e / e.sum()
+        mat[~np.isfinite(mat)] = 0.0
+        return mat
+
+
+class IdentityEncoder(GraphEncoder):
+    """No message passing — reduces the actor to a plain MLP (Native-A2C)."""
+
+    def aggregation_matrix(
+        self, adj: List[List[int]], h: np.ndarray, layer: int
+    ) -> np.ndarray:
+        return np.eye(len(adj))

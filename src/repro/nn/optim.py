@@ -1,0 +1,86 @@
+"""Optimizers for the NumPy neural substrate.
+
+The paper trains DCG-BE with Adam at a fixed learning rate of 2e-4 (§5.3.2);
+:class:`Adam` reproduces the standard bias-corrected update.  ``SGD`` is kept
+for tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["Adam", "SGD", "clip_grad_norm"]
+
+
+class SGD:
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+    ) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self.params = list(params)
+        self.grads = list(grads)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: List[np.ndarray] = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        for p, g, v in zip(self.params, self.grads, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+            else:
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba), matching torch defaults."""
+
+    def __init__(
+        self,
+        params: Sequence[np.ndarray],
+        grads: Sequence[np.ndarray],
+        lr: float = 2e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+    ) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads must align")
+        self.params = list(params)
+        self.grads = list(grads)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.t = 0
+        self._m: List[np.ndarray] = [np.zeros_like(p) for p in params]
+        self._v: List[np.ndarray] = [np.zeros_like(p) for p in params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for p, g, m, v in zip(self.params, self.grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+def clip_grad_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is ≤ ``max_norm``."""
+    total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for g in grads:
+            g *= scale
+    return total

@@ -1,0 +1,20 @@
+"""Traffic scheduling: DSS-LC, DCG-BE, and the §7.2 baselines."""
+
+from .base import Assignment, group_by_type
+from .baselines import K8sNativeScheduler, LoadGreedyScheduler, ScoringScheduler
+from .dcg_be import DCGBEConfig, DCGBEScheduler
+from .dss_lc import DSSLCConfig, DSSLCScheduler
+from .gnn_sac import GNNSACScheduler
+
+__all__ = [
+    "Assignment",
+    "group_by_type",
+    "DSSLCScheduler",
+    "DSSLCConfig",
+    "DCGBEScheduler",
+    "DCGBEConfig",
+    "GNNSACScheduler",
+    "LoadGreedyScheduler",
+    "K8sNativeScheduler",
+    "ScoringScheduler",
+]

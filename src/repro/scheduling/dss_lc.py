@@ -1,0 +1,367 @@
+"""DSS-LC: Distributed Service request Scheduling for LC requests (§5.2).
+
+Each master runs this algorithm on its own LC queue every tick, making
+"one-time decisions for the dynamic number of requests":
+
+1. requests are grouped by type ``k``;
+2. node supply/demand terms are computed — the master supplies its pending
+   count ``t_k``, every eligible worker absorbs
+   ``|t_i^k| = min(cpu_ava / r^c_k, mem_ava / r^m_k)`` requests (Eq. 2),
+   where the per-request minima ``r^{c,k}, r^{m,k}`` come from the QoS
+   re-assurance mechanism when HRM is active;
+3. **case 1** (demand ≤ capacity): a single graph ``G_k`` is built over
+   available resources and solved as a min-cost max-flow (transmission delay
+   as cost) — our solver stands in for the paper's OR-Tools call;
+4. **case 2** (demand > capacity): the random sorting function ρ(·) splits
+   the queue into ``R_k`` (placed immediately, as case 1) and ``R'_k``
+   (queued), and a second graph ``Ĝ'_k`` distributes the queued remainder
+   proportionally to *total* node resources scaled by the augmentation
+   factor λ (Eqs. 7–8), respecting edge heterogeneity.
+
+Decision latency is tracked per call so the §7.2 response-time claims
+(1.99 ms @ 500 nodes, 3.98 ms @ 1000) can be benchmarked.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.state_storage import NodeSnapshot, SystemSnapshot
+from repro.flow.graph import AssignmentResult, SupplyDemandGraph, solve_transport
+from repro.hrm.reassurance import ReassuranceMechanism
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceSpec
+
+from .base import Assignment, group_by_type
+from .priority import PriorityPolicy, RandomPriority, make_priority
+
+__all__ = ["DSSLCConfig", "DSSLCScheduler"]
+
+
+@dataclass
+class DSSLCConfig:
+    #: per-link transmission capacity (requests per decision round), the
+    #: c_{i,j} bound of Eq. 4.
+    link_capacity: int = 64
+    #: cap on queued requests pushed per round in case 2 (keeps node queues
+    #: from exploding under pathological overload).
+    max_queue_push: int = 256
+    #: utilisation the dispatcher is willing to fill a node to.  Packing to
+    #: 100 % pushes nodes past the interference knee and every co-located
+    #: request slows down; leaving headroom makes DSS-LC spill to geo-nearby
+    #: clusters before a node becomes contended.
+    target_fill: float = 0.85
+    #: the ρ(·) case-2 priority policy: random (paper default), fifo,
+    #: deadline, or tier (§5.2.2: "can be changed as required").
+    priority: str = "random"
+    #: solve all request types jointly over shared link capacities (the
+    #: full multi-commodity formulation) instead of the paper's per-type
+    #: "in parallel" graphs.  Costs one sequential MCMF pass per type but
+    #: never oversubscribes a link across types.
+    coordinate_types: bool = False
+    seed: int = 0
+
+
+class DSSLCScheduler:
+    """The paper's LC dispatch algorithm (Alg. 2)."""
+
+    def __init__(
+        self,
+        config: Optional[DSSLCConfig] = None,
+        *,
+        reassurance: Optional[ReassuranceMechanism] = None,
+    ) -> None:
+        self.config = config or DSSLCConfig()
+        self.reassurance = reassurance
+        self.rng = np.random.default_rng(self.config.seed)
+        self.priority: PriorityPolicy = make_priority(
+            self.config.priority, seed=self.config.seed
+        )
+        self.decision_latencies_ms: List[float] = []
+        self.case2_rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def dispatch(
+        self,
+        origin_cluster: int,
+        requests: Sequence[ServiceRequest],
+        snapshot: SystemSnapshot,
+        eligible_clusters: Sequence[int],
+        now_ms: float,
+    ) -> List[Assignment]:
+        if not requests:
+            return []
+        start = time.perf_counter()
+        assignments: List[Assignment] = []
+        nodes = snapshot.nodes_of(list(eligible_clusters))
+        if nodes:
+            groups = group_by_type(requests)
+            if self.config.coordinate_types and len(groups) > 1:
+                assignments.extend(
+                    self._dispatch_coordinated(
+                        origin_cluster, groups, nodes, snapshot
+                    )
+                )
+            else:
+                for service, reqs in groups.items():
+                    assignments.extend(
+                        self._dispatch_type(
+                            origin_cluster, reqs, nodes, snapshot
+                        )
+                    )
+        self.decision_latencies_ms.append(
+            (time.perf_counter() - start) * 1000.0
+        )
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # per-type scheduling (the body of Alg. 2)
+    # ------------------------------------------------------------------ #
+    def _dispatch_type(
+        self,
+        origin_cluster: int,
+        requests: List[ServiceRequest],
+        nodes: List[NodeSnapshot],
+        snapshot: SystemSnapshot,
+    ) -> List[Assignment]:
+        spec = requests[0].spec
+        r_cpu, r_mem = self._per_request_minima(spec, nodes)
+
+        # |t_i^k| of Eq. 2, with two practical corrections: the node is only
+        # filled to ``target_fill`` of its total (past that every co-located
+        # request pays interference), and requests already waiting at the
+        # node consume capacity units this round.
+        fill = self.config.target_fill
+        capacities = []
+        for i, n in enumerate(nodes):
+            cpu_eff = max(0.0, n.cpu_available - (1.0 - fill) * n.cpu_total)
+            mem_eff = max(0.0, n.mem_available - (1.0 - fill) * n.mem_total)
+            units = self._node_units(cpu_eff, mem_eff, r_cpu[i], r_mem[i])
+            capacities.append(max(0, units - n.lc_queue))
+        pending = len(requests)
+        total_capacity = sum(capacities)
+
+        if pending <= total_capacity:
+            placed = self._solve_and_assign(
+                origin_cluster, requests, nodes, capacities, snapshot
+            )
+            return placed
+
+        # case 2: split via the configured ρ(·) policy (paper default:
+        # random — all LC types share one priority in their scenario).
+        self.case2_rounds += 1
+        ordered = self.priority.order(requests, snapshot.time_ms)
+        immediate = ordered[:total_capacity]
+        queued = ordered[total_capacity:]
+        assignments = self._solve_and_assign(
+            origin_cluster, immediate, nodes, capacities, snapshot
+        )
+
+        queued = queued[: self.config.max_queue_push]
+        if queued:
+            total_units = [
+                self._node_units(n.cpu_total, n.mem_total, r_cpu[i], r_mem[i])
+                for i, n in enumerate(nodes)
+            ]
+            aug_caps = self._augmented_capacities(total_units, len(queued))
+            assignments.extend(
+                self._solve_and_assign(
+                    origin_cluster, queued, nodes, aug_caps, snapshot
+                )
+            )
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # coordinated (true multi-commodity) dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch_coordinated(
+        self,
+        origin_cluster: int,
+        groups: Dict[str, List[ServiceRequest]],
+        nodes: List[NodeSnapshot],
+        snapshot: SystemSnapshot,
+    ) -> List[Assignment]:
+        """Solve every type jointly over shared master→worker links.
+
+        Node absorption stays per-commodity (each type has its own resource
+        footprint); the transmission capacities c_{i,j} of Eq. 4 are shared.
+        Requests the joint solve cannot place stay queued at the master.
+        """
+        from repro.flow.multicommodity import Commodity, SharedLink, solve_sequential
+
+        fill = self.config.target_fill
+        commodities: List[Commodity] = []
+        for service, reqs in groups.items():
+            spec = reqs[0].spec
+            r_cpu, r_mem = self._per_request_minima(spec, nodes)
+            supplies = [len(reqs)]
+            for i, n in enumerate(nodes):
+                cpu_eff = max(0.0, n.cpu_available - (1.0 - fill) * n.cpu_total)
+                mem_eff = max(0.0, n.mem_available - (1.0 - fill) * n.mem_total)
+                units = self._node_units(cpu_eff, mem_eff, r_cpu[i], r_mem[i])
+                supplies.append(-max(0, units - n.lc_queue))
+            commodities.append(Commodity(service, supplies))
+
+        links = [
+            SharedLink(
+                0,
+                1 + i,
+                snapshot.delay_ms[origin_cluster][n.cluster_id],
+                self.config.link_capacity,
+            )
+            for i, n in enumerate(nodes)
+        ]
+        result = solve_sequential(1 + len(nodes), commodities, links)
+
+        assignments: List[Assignment] = []
+        for service, reqs in groups.items():
+            cursor = 0
+            for (src, dst), flow in sorted(result.flows[service].items()):
+                node = nodes[dst - 1]
+                for _ in range(flow):
+                    if cursor >= len(reqs):
+                        break
+                    assignments.append(
+                        Assignment(
+                            request=reqs[cursor],
+                            node_name=node.name,
+                            cluster_id=node.cluster_id,
+                        )
+                    )
+                    cursor += 1
+            # overflow the joint solve could not place follows the case-2
+            # queued path (Ĝ'_k over total resources, Eq. 7-8) — critically,
+            # this ships LC to busy nodes where HRM preemption frees BE-held
+            # resources; holding them at the master would starve them.
+            leftover = reqs[cursor:][: self.config.max_queue_push]
+            if leftover:
+                self.case2_rounds += 1
+                spec = leftover[0].spec
+                r_cpu, r_mem = self._per_request_minima(spec, nodes)
+                total_units = [
+                    self._node_units(
+                        n.cpu_total, n.mem_total, r_cpu[i], r_mem[i]
+                    )
+                    for i, n in enumerate(nodes)
+                ]
+                aug_caps = self._augmented_capacities(
+                    total_units, len(leftover)
+                )
+                assignments.extend(
+                    self._solve_and_assign(
+                        origin_cluster, leftover, nodes, aug_caps, snapshot
+                    )
+                )
+        return assignments
+
+    def _per_request_minima(
+        self, spec: ServiceSpec, nodes: List[NodeSnapshot]
+    ) -> tuple:
+        """Per-node (r^c_k, r^m_k), re-assurance-adjusted when available."""
+        r_cpu, r_mem = [], []
+        for n in nodes:
+            if self.reassurance is not None:
+                r = self.reassurance.min_resources(n.name, spec)
+            else:
+                r = spec.min_resources
+            r_cpu.append(max(r.cpu, 1e-9))
+            r_mem.append(max(r.memory, 1e-9))
+        return r_cpu, r_mem
+
+    @staticmethod
+    def _node_units(
+        cpu_ava: float, mem_ava: float, r_cpu: float, r_mem: float
+    ) -> int:
+        """|t_i^k| of Eq. 2 (or its total-resource analogue for Eq. 7)."""
+        return max(0, int(min(cpu_ava / r_cpu, mem_ava / r_mem)))
+
+    def _augmented_capacities(
+        self, total_units: List[int], n_queued: int
+    ) -> List[int]:
+        """Eq. 7–8: scale total-resource units by λ so Σ capacities = |R'_k|.
+
+        Uses largest-remainder rounding so the integral capacities still sum
+        to exactly the queued count (the paper's λ guarantees this in the
+        continuous formulation).
+        """
+        total = sum(total_units)
+        if total <= 0:
+            # degenerate topology: spread uniformly
+            base = [n_queued // len(total_units)] * len(total_units)
+            for i in range(n_queued - sum(base)):
+                base[i % len(base)] += 1
+            return base
+        lam = n_queued / total
+        raw = [u * lam for u in total_units]
+        floors = [int(x) for x in raw]
+        shortfall = n_queued - sum(floors)
+        remainders = sorted(
+            range(len(raw)), key=lambda i: raw[i] - floors[i], reverse=True
+        )
+        for i in remainders[:shortfall]:
+            floors[i] += 1
+        return floors
+
+    # ------------------------------------------------------------------ #
+    # graph construction + flow solve
+    # ------------------------------------------------------------------ #
+    def _solve_and_assign(
+        self,
+        origin_cluster: int,
+        requests: List[ServiceRequest],
+        nodes: List[NodeSnapshot],
+        capacities: List[int],
+        snapshot: SystemSnapshot,
+    ) -> List[Assignment]:
+        if not requests:
+            return []
+        graph = SupplyDemandGraph()
+        # node 0 is the origin master (supply); 1..N are workers (demand)
+        graph.supplies = [len(requests)] + [-c for c in capacities]
+        for i, node in enumerate(nodes):
+            delay = snapshot.delay_ms[origin_cluster][node.cluster_id]
+            cap = min(self.config.link_capacity, len(requests))
+            # Convex load cost: each deeper slice of a node's capacity pays a
+            # growing queueing-delay surcharge, so the min-cost flow spreads
+            # across nodes instead of filling the closest one to the brim.
+            # (§5.2.2 notes richer traffic-engineering terms slot in here.)
+            remaining = min(cap, capacities[i])
+            slice_size = max(1, (remaining + 2) // 3)
+            for depth, surcharge in enumerate((0.0, 6.0, 18.0)):
+                take = min(slice_size, remaining)
+                if take <= 0:
+                    break
+                graph.edges.append((0, 1 + i, delay + surcharge, take))
+                remaining -= take
+        result: AssignmentResult = solve_transport(graph)
+
+        assignments: List[Assignment] = []
+        cursor = 0
+        for j, count in sorted(result.absorbed.items()):
+            node = nodes[j - 1]
+            for _ in range(count):
+                if cursor >= len(requests):
+                    break
+                assignments.append(
+                    Assignment(
+                        request=requests[cursor],
+                        node_name=node.name,
+                        cluster_id=node.cluster_id,
+                    )
+                )
+                cursor += 1
+        return assignments
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def mean_decision_latency_ms(self) -> float:
+        if not self.decision_latencies_ms:
+            return 0.0
+        return float(np.mean(self.decision_latencies_ms))

@@ -1,0 +1,114 @@
+"""Pluggable ρ(·) sorting policies for DSS-LC's overload split (§5.2.2).
+
+When pending LC requests exceed the absorbable capacity (case 2 of Alg. 2),
+DSS-LC uses "the random sorting function ρ(·) to divide the requests into
+two groups" — those placed immediately (R_k) and those queued (R'_k) — and
+notes "the priority policy of ρ(·) can be changed as required (LC services
+are of the same priority as each other in our scenario)".
+
+This module provides that extension point:
+
+* :class:`RandomPriority` — the paper's default: a uniformly random split;
+* :class:`FIFOPriority` — oldest requests first (arrival-order fairness);
+* :class:`DeadlinePriority` — earliest *remaining slack* first (EDF-style):
+  requests closest to blowing their QoS target are placed immediately;
+* :class:`TierPriority` — higher ``LatencySensitivity`` tiers first, FIFO
+  within a tier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+import numpy as np
+
+from repro.sim.request import ServiceRequest
+
+__all__ = [
+    "PriorityPolicy",
+    "RandomPriority",
+    "FIFOPriority",
+    "DeadlinePriority",
+    "TierPriority",
+    "make_priority",
+]
+
+
+class PriorityPolicy(Protocol):
+    """Orders requests from most to least urgent for the case-2 split."""
+
+    def order(
+        self, requests: Sequence[ServiceRequest], now_ms: float
+    ) -> List[ServiceRequest]:
+        ...
+
+
+class RandomPriority:
+    """The paper's ρ(·): all LC requests share one priority."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def order(
+        self, requests: Sequence[ServiceRequest], now_ms: float
+    ) -> List[ServiceRequest]:
+        items = list(requests)
+        perm = self.rng.permutation(len(items))
+        return [items[i] for i in perm]
+
+
+class FIFOPriority:
+    """Oldest arrival first."""
+
+    def order(
+        self, requests: Sequence[ServiceRequest], now_ms: float
+    ) -> List[ServiceRequest]:
+        return sorted(requests, key=lambda r: (r.arrival_ms, r.request_id))
+
+
+class DeadlinePriority:
+    """Least remaining QoS slack first (earliest effective deadline)."""
+
+    def order(
+        self, requests: Sequence[ServiceRequest], now_ms: float
+    ) -> List[ServiceRequest]:
+        def slack(r: ServiceRequest) -> float:
+            if not np.isfinite(r.spec.qos_target_ms):
+                return float("inf")
+            return (r.arrival_ms + r.spec.qos_target_ms) - now_ms
+
+        return sorted(requests, key=lambda r: (slack(r), r.request_id))
+
+
+class TierPriority:
+    """Higher LatencySensitivity tier first; FIFO within a tier."""
+
+    def order(
+        self, requests: Sequence[ServiceRequest], now_ms: float
+    ) -> List[ServiceRequest]:
+        return sorted(
+            requests,
+            key=lambda r: (
+                -r.spec.latency_sensitivity,
+                r.arrival_ms,
+                r.request_id,
+            ),
+        )
+
+
+_REGISTRY = {
+    "random": RandomPriority,
+    "fifo": FIFOPriority,
+    "deadline": DeadlinePriority,
+    "tier": TierPriority,
+}
+
+
+def make_priority(name: str, seed: int = 0) -> PriorityPolicy:
+    """Build a registered ρ(·) policy by name."""
+    if name not in _REGISTRY:
+        raise ValueError(f"unknown priority policy {name!r}; want {sorted(_REGISTRY)}")
+    cls = _REGISTRY[name]
+    if cls is RandomPriority:
+        return cls(seed=seed)
+    return cls()

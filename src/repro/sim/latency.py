@@ -1,0 +1,121 @@
+"""Pressure-test latency model: processing time vs allocation and load.
+
+The paper maps simulated request processing times from *pressure testing* on
+the physical clusters: "we record the time taken for each type of service to
+complete under different loads and resources" (§6.1).  We substitute a
+parametric model with the qualitative properties such measurements always
+show:
+
+* with the reference allocation on an unloaded node, a request takes its
+  ``base_service_ms``;
+* CPU starvation stretches latency polynomially —
+  ``(ref_cpu / alloc_cpu) ** cpu_elasticity``;
+* memory below reference causes a gentler penalty (paging pressure) and
+  below the service minimum the request cannot run at all;
+* node-level contention (total utilisation beyond a knee) adds a convex
+  penalty, reproducing interference between co-located services;
+* giving more than the reference allocation yields mildly diminishing
+  speed-ups, capped at 1.25×.
+
+The model returns a *speed factor*: work progresses at ``speed × dt``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+from repro.workloads.spec import ServiceSpec
+
+__all__ = ["LatencyModel", "speed_factor"]
+
+#: utilisation knee beyond which contention penalties kick in.
+CONTENTION_KNEE = 0.85
+#: how sharply latency degrades past the knee.
+CONTENTION_SLOPE = 1.2
+#: ceiling on super-reference speed-up.
+MAX_SPEEDUP = 1.25
+
+
+def speed_factor(
+    spec: ServiceSpec,
+    allocation: ResourceVector,
+    node_utilization: float,
+) -> float:
+    """Progress multiplier for a request holding ``allocation``.
+
+    Returns 0 when the allocation cannot support the service at all.
+    """
+    ref = spec.reference_resources
+    if allocation.cpu <= 0 or (ref.memory > 0 and allocation.memory <= 0):
+        return 0.0
+
+    cpu_ratio = allocation.cpu / ref.cpu if ref.cpu > 0 else 1.0
+    if cpu_ratio >= 1.0:
+        cpu_speed = min(MAX_SPEEDUP, 1.0 + 0.5 * math.log1p(cpu_ratio - 1.0))
+    else:
+        cpu_speed = cpu_ratio**spec.cpu_elasticity
+
+    if ref.memory > 0:
+        mem_ratio = min(1.0, allocation.memory / ref.memory)
+        # paging penalty: latency ~1/sqrt of the shortfall, gentler than CPU
+        mem_speed = math.sqrt(mem_ratio)
+    else:
+        mem_speed = 1.0
+
+    contention = 1.0
+    if node_utilization > CONTENTION_KNEE:
+        over = node_utilization - CONTENTION_KNEE
+        contention = 1.0 / (1.0 + CONTENTION_SLOPE * over * over / (1 - CONTENTION_KNEE))
+
+    return max(0.0, min(cpu_speed, mem_speed) * contention)
+
+
+@dataclass
+class LatencyModel:
+    """Configurable wrapper so experiments can perturb the model."""
+
+    contention_knee: float = CONTENTION_KNEE
+    contention_slope: float = CONTENTION_SLOPE
+    max_speedup: float = MAX_SPEEDUP
+
+    def speed(
+        self,
+        spec: ServiceSpec,
+        allocation: ResourceVector,
+        node_utilization: float,
+    ) -> float:
+        ref = spec.reference_resources
+        if allocation.cpu <= 0 or (ref.memory > 0 and allocation.memory <= 0):
+            return 0.0
+        cpu_ratio = allocation.cpu / ref.cpu if ref.cpu > 0 else 1.0
+        if cpu_ratio >= 1.0:
+            cpu_speed = min(
+                self.max_speedup, 1.0 + 0.5 * math.log1p(cpu_ratio - 1.0)
+            )
+        else:
+            cpu_speed = cpu_ratio**spec.cpu_elasticity
+        if ref.memory > 0:
+            mem_speed = math.sqrt(min(1.0, allocation.memory / ref.memory))
+        else:
+            mem_speed = 1.0
+        contention = 1.0
+        if node_utilization > self.contention_knee:
+            over = node_utilization - self.contention_knee
+            contention = 1.0 / (
+                1.0
+                + self.contention_slope * over * over / (1 - self.contention_knee)
+            )
+        return max(0.0, min(cpu_speed, mem_speed) * contention)
+
+    def expected_processing_ms(
+        self,
+        spec: ServiceSpec,
+        allocation: ResourceVector,
+        node_utilization: float,
+    ) -> float:
+        s = self.speed(spec, allocation, node_utilization)
+        if s <= 0:
+            return float("inf")
+        return spec.base_service_ms / s

@@ -1,0 +1,110 @@
+"""Service request lifecycle objects.
+
+A request is born at a master node (its cluster's edge access point), waits
+in the LC or BE scheduling queue, is dispatched to a worker (possibly in
+another cluster, paying WAN latency), may queue again at the worker until
+resources are allocated, is processed, and completes.  For LC requests the
+QoS check compares end-to-end latency (queue + network + allocation +
+processing) against the service's tail-latency target γ_k.
+
+BE requests can be evicted under preemption (§4.1) — they lose progress and
+return to the scheduling queue; LC requests that outstay a patience bound are
+*abandoned*, the third metric in Fig. 11(b).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.workloads.spec import ServiceKind, ServiceSpec
+
+__all__ = ["RequestState", "ServiceRequest"]
+
+_request_ids = itertools.count(1)
+
+
+class RequestState(str, Enum):
+    QUEUED_MASTER = "queued-master"
+    IN_FLIGHT = "in-flight"
+    QUEUED_NODE = "queued-node"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    ABANDONED = "abandoned"
+
+
+@dataclass
+class ServiceRequest:
+    spec: ServiceSpec
+    origin_cluster: int
+    arrival_ms: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    state: RequestState = RequestState.QUEUED_MASTER
+
+    # lifecycle timestamps (ms, simulation time)
+    dispatched_ms: Optional[float] = None
+    node_arrival_ms: Optional[float] = None
+    started_ms: Optional[float] = None
+    completed_ms: Optional[float] = None
+
+    # placement
+    target_cluster: Optional[int] = None
+    target_node: Optional[str] = None
+
+    # accounting
+    network_delay_ms: float = 0.0
+    allocation_overhead_ms: float = 0.0
+    evictions: int = 0
+    reschedules: int = 0
+
+    @property
+    def kind(self) -> ServiceKind:
+        return self.spec.kind
+
+    @property
+    def is_lc(self) -> bool:
+        return self.spec.is_lc
+
+    # ------------------------------------------------------------------ #
+    # derived latencies
+    # ------------------------------------------------------------------ #
+    def total_latency_ms(self) -> Optional[float]:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.arrival_ms
+
+    def queueing_ms(self) -> Optional[float]:
+        if self.started_ms is None:
+            return None
+        return (
+            self.started_ms
+            - self.arrival_ms
+            - self.network_delay_ms
+        )
+
+    def qos_met(self) -> Optional[bool]:
+        """None until completion; for BE always True (no strict target)."""
+        latency = self.total_latency_ms()
+        if latency is None:
+            return None
+        if not self.is_lc:
+            return True
+        return latency <= self.spec.qos_target_ms
+
+    def patience_deadline_ms(self, factor: float = 4.0) -> float:
+        """Time after which a still-unserved LC request is abandoned."""
+        if not self.is_lc:
+            return float("inf")
+        return self.arrival_ms + factor * self.spec.qos_target_ms
+
+    def mark_abandoned(self, now_ms: float) -> None:
+        self.state = RequestState.ABANDONED
+        self.completed_ms = None
+
+    def __repr__(self) -> str:  # keep debug output short
+        return (
+            f"<Req {self.request_id} {self.spec.name} "
+            f"c{self.origin_cluster} {self.state.value}>"
+        )

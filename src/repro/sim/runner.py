@@ -1,0 +1,351 @@
+"""Simulation runner: the dispatch–allocate–adjust loop of §3, end to end.
+
+Per tick the runner:
+
+1. injects trace arrivals into the origin cluster's master queues;
+2. refreshes the state storage (Prometheus/QoS-detector pushes);
+3. runs the LC scheduler *on every master* (distributed dispatch) and ships
+   assignments over the LAN/WAN with the topology's one-way delays;
+4. forwards BE requests to the central cluster (unless the BE policy is
+   distributed, as DSACO's is) and runs the central BE dispatcher;
+5. delivers in-flight requests that arrived this tick into node queues;
+6. steps every worker node (admission under the attached resource manager,
+   processing, completion, eviction, abandonment);
+7. runs the QoS re-assurance pass (Algorithm 1) when HRM is active;
+8. samples period metrics (800 ms cadence).
+
+The runner is deterministic for a fixed trace and seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.topology import EdgeCloudSystem
+from repro.core.state_storage import StateStorage
+from repro.kube.events import EventRecorder, Reason
+from repro.sim.failures import FailureConfig, FailureInjector
+from repro.hrm.reassurance import ReassuranceMechanism
+from repro.metrics.collectors import PERIOD_MS, PeriodCollector, RunMetrics
+from repro.sim.engine import TICK_MS, Clock, DeliveryQueue
+from repro.sim.request import RequestState, ServiceRequest
+from repro.workloads.spec import ServiceSpec
+from repro.workloads.trace import TraceRecord
+
+__all__ = ["SimulationRunner", "RunnerConfig"]
+
+
+@dataclass
+class RunnerConfig:
+    duration_ms: float = 60_000.0
+    tick_ms: float = TICK_MS
+    period_ms: float = PERIOD_MS
+    state_refresh_ms: float = 100.0
+    #: evicted BE requests re-enter scheduling at their origin cluster.
+    requeue_evicted_be: bool = True
+    #: hard cap on BE requeue cycles before a request is dropped (safety).
+    max_be_reschedules: int = 20
+    #: optional failure injection (node crashes / WAN partitions).
+    failures: Optional[FailureConfig] = None
+    #: record a kubectl-get-events-style audit stream (small overhead).
+    record_events: bool = False
+    #: run the invariant checker every tick (a few % overhead; CI uses it).
+    validate: bool = False
+
+
+class SimulationRunner:
+    """Wires workload, system, schedulers, managers, and metrics together."""
+
+    def __init__(
+        self,
+        system: EdgeCloudSystem,
+        trace: Sequence[TraceRecord],
+        catalog: Sequence[ServiceSpec],
+        lc_scheduler,
+        be_scheduler,
+        *,
+        config: Optional[RunnerConfig] = None,
+        state_storage: Optional[StateStorage] = None,
+        reassurance: Optional[ReassuranceMechanism] = None,
+    ) -> None:
+        self.system = system
+        self.config = config or RunnerConfig()
+        self.catalog = {s.name: s for s in catalog}
+        self.lc_scheduler = lc_scheduler
+        self.be_scheduler = be_scheduler
+        self.reassurance = reassurance
+        self.storage = state_storage or StateStorage(
+            system, refresh_period_ms=self.config.state_refresh_ms
+        )
+        self.collector = PeriodCollector(system, period_ms=self.config.period_ms)
+        self.clock = Clock(self.config.tick_ms)
+        self._deliveries = DeliveryQueue()  # payload: (request, cluster, node)
+        self._central_be: List[ServiceRequest] = []
+        self._central_inflight = DeliveryQueue()  # payload: request
+        self._trace = sorted(trace, key=lambda r: r.time_ms)
+        self._trace_cursor = 0
+        self._be_distributed = getattr(be_scheduler, "distributed", False)
+        self.dropped_be = 0
+        self.injector: Optional[FailureInjector] = None
+        if self.config.failures is not None:
+            self.injector = FailureInjector(system, self.config.failures)
+            self.storage.node_filter = self._node_visible
+        self.events: Optional[EventRecorder] = (
+            EventRecorder() if self.config.record_events else None
+        )
+        self.checker = None
+        if self.config.validate:
+            from repro.sim.validation import InvariantChecker
+
+            self.checker = InvariantChecker(system)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunMetrics:
+        cfg = self.config
+        n_ticks = int(cfg.duration_ms / cfg.tick_ms)
+        for _ in range(n_ticks):
+            now = self.clock.now_ms
+            self._inject_arrivals(now + cfg.tick_ms)
+            self._apply_failures(now)
+            snapshot = self.storage.refresh(now)
+            self._dispatch_lc(snapshot, now)
+            self._dispatch_be(snapshot, now)
+            self._deliver(now)
+            self._step_nodes(now)
+            self._run_reassurance(now)
+            if self.checker is not None:
+                self.checker.check(now, self.collector.metrics)
+            self.collector.maybe_sample(now + cfg.tick_ms)
+            self.clock.advance()
+        return self.collector.metrics
+
+    # ------------------------------------------------------------------ #
+    # stage 1: arrivals
+    # ------------------------------------------------------------------ #
+    def _inject_arrivals(self, until_ms: float) -> None:
+        while (
+            self._trace_cursor < len(self._trace)
+            and self._trace[self._trace_cursor].time_ms < until_ms
+        ):
+            record = self._trace[self._trace_cursor]
+            self._trace_cursor += 1
+            spec = self.catalog.get(record.service)
+            if spec is None:
+                continue
+            cluster_id = record.cluster_id % self.system.n_clusters
+            request = ServiceRequest(
+                spec=spec,
+                origin_cluster=cluster_id,
+                arrival_ms=record.time_ms,
+            )
+            self.system.cluster(cluster_id).receive(request)
+            self.collector.on_arrival(request)
+
+    # ------------------------------------------------------------------ #
+    # failures
+    # ------------------------------------------------------------------ #
+    def _node_visible(self, name: str, cluster_id: int) -> bool:
+        assert self.injector is not None
+        return not (
+            self.injector.node_is_down(name)
+            or self.injector.cluster_is_partitioned(cluster_id)
+        )
+
+    def _apply_failures(self, now_ms: float) -> None:
+        if self.injector is None:
+            return
+        displaced = self.injector.apply(now_ms)
+        if self.events is not None:
+            for ev in self.injector.events:
+                if ev.time_ms >= now_ms - self.config.tick_ms:
+                    reason = (
+                        Reason.NODE_DOWN if ev.kind == "crash"
+                        else Reason.NODE_RECOVERED if ev.kind == "recover"
+                        else ev.kind
+                    )
+                    self.events.emit(
+                        now_ms, reason, f"node/{ev.target}", ev.kind,
+                        type="Warning" if ev.kind == "crash" else "Normal",
+                    )
+        for request in displaced:
+            if request.state.value == "abandoned":
+                self.collector.on_abandon(request)
+            elif request.is_lc:
+                self.system.cluster(request.origin_cluster).receive(request)
+            else:
+                self._requeue_evicted(request, now_ms)
+        # crashed-node handling for LC: mark_abandoned happens in the
+        # injector; count those too
+        
+    # ------------------------------------------------------------------ #
+    # stage 2: LC dispatch (distributed, per master)
+    # ------------------------------------------------------------------ #
+    def _dispatch_lc(self, snapshot, now_ms: float) -> None:
+        for cluster in self.system.clusters:
+            if not cluster.lc_queue:
+                continue
+            requests = cluster.drain_lc()
+            eligible = self.system.nearby_clusters(cluster.cluster_id)
+            assignments = self.lc_scheduler.dispatch(
+                cluster.cluster_id, requests, snapshot, eligible, now_ms
+            )
+            assigned_ids = {a.request.request_id for a in assignments}
+            for assignment in assignments:
+                self._ship(assignment, cluster.cluster_id, now_ms)
+            for request in requests:
+                if request.request_id not in assigned_ids:
+                    cluster.lc_queue.append(request)
+
+    # ------------------------------------------------------------------ #
+    # stage 3: BE forwarding + central dispatch
+    # ------------------------------------------------------------------ #
+    def _dispatch_be(self, snapshot, now_ms: float) -> None:
+        central = self.system.central_cluster_id
+        if self._be_distributed:
+            # DSACO-style: each cluster dispatches its own BE queue locally.
+            for cluster in self.system.clusters:
+                if not cluster.be_queue:
+                    continue
+                requests = cluster.drain_be()
+                eligible = self.system.nearby_clusters(cluster.cluster_id)
+                assignments = self.lc_or_be_distributed_dispatch(
+                    cluster.cluster_id, requests, snapshot, eligible, now_ms
+                )
+                assigned = {a.request.request_id for a in assignments}
+                for a in assignments:
+                    self._ship(a, cluster.cluster_id, now_ms)
+                for r in requests:
+                    if r.request_id not in assigned:
+                        cluster.be_queue.append(r)
+            return
+
+        # forward to central (paying WAN delay once)
+        for cluster in self.system.clusters:
+            if not cluster.be_queue:
+                continue
+            for request in cluster.drain_be():
+                delay = self.system.one_way_delay_ms(cluster.cluster_id, central)
+                request.network_delay_ms += delay
+                request.state = RequestState.IN_FLIGHT
+                self._central_inflight.schedule(now_ms + delay, request)
+        self._central_be.extend(self._central_inflight.pop_due(now_ms))
+
+        if not self._central_be:
+            return
+        requests = self._central_be
+        self._central_be = []
+        assignments = self.be_scheduler.dispatch_be(requests, snapshot, now_ms)
+        assigned = {a.request.request_id for a in assignments}
+        for assignment in assignments:
+            self._ship(assignment, central, now_ms)
+        for request in requests:
+            if request.request_id not in assigned:
+                self._central_be.append(request)
+
+    def lc_or_be_distributed_dispatch(
+        self, origin, requests, snapshot, eligible, now_ms
+    ):
+        """Distributed BE dispatch path (scheduler exposes the LC protocol)."""
+        return self.be_scheduler.dispatch(
+            origin, requests, snapshot, eligible, now_ms
+        )
+
+    # ------------------------------------------------------------------ #
+    # shipping + delivery
+    # ------------------------------------------------------------------ #
+    def _ship(self, assignment, from_cluster: int, now_ms: float) -> None:
+        request = assignment.request
+        # propagation + payload serialisation over the (tc-shaped) link
+        delay = self.system.transfer_ms(
+            from_cluster, assignment.cluster_id, request.spec.payload_kb
+        )
+        request.network_delay_ms += delay
+        request.dispatched_ms = now_ms
+        request.state = RequestState.IN_FLIGHT
+        if self.events is not None:
+            self.events.emit(
+                now_ms,
+                Reason.SCHEDULED,
+                f"req/{request.request_id}",
+                f"{request.spec.name} -> {assignment.node_name}",
+            )
+        self._deliveries.schedule(
+            now_ms + delay, (request, assignment.cluster_id, assignment.node_name)
+        )
+
+    def _deliver(self, now_ms: float) -> None:
+        for request, cluster_id, node_name in self._deliveries.pop_due(now_ms):
+            node = self.system.cluster(cluster_id).worker(node_name)
+            node.enqueue(request, now_ms)
+
+    # ------------------------------------------------------------------ #
+    # node execution
+    # ------------------------------------------------------------------ #
+    def _step_nodes(self, now_ms: float) -> None:
+        dt = self.config.tick_ms
+        for cluster in self.system.clusters:
+            for node in cluster.workers:
+                if self.injector is not None and self.injector.node_is_down(
+                    node.name
+                ):
+                    continue
+                completed, evicted, abandoned = node.step(now_ms, dt)
+                for request in completed:
+                    self.collector.on_completion(request)
+                    if not request.is_lc and hasattr(
+                        self.be_scheduler, "note_completion"
+                    ):
+                        self.be_scheduler.note_completion(
+                            request, node.capacity.cpu, node.capacity.memory
+                        )
+                for request in evicted:
+                    self.collector.on_eviction(request)
+                    self._requeue_evicted(request, now_ms)
+                    if self.events is not None:
+                        self.events.emit(
+                            now_ms,
+                            Reason.EVICTED,
+                            f"req/{request.request_id}",
+                            f"{request.spec.name} preempted on {node.name}",
+                            type="Warning",
+                        )
+                for request in abandoned:
+                    self.collector.on_abandon(request)
+                    if self.events is not None:
+                        self.events.emit(
+                            now_ms,
+                            Reason.FAILED_SCHEDULING,
+                            f"req/{request.request_id}",
+                            f"{request.spec.name} abandoned past deadline",
+                            type="Warning",
+                        )
+
+    def _requeue_evicted(self, request: ServiceRequest, now_ms: float) -> None:
+        if not self.config.requeue_evicted_be:
+            self.dropped_be += 1
+            return
+        request.reschedules += 1
+        if request.reschedules > self.config.max_be_reschedules:
+            self.dropped_be += 1
+            return
+        self.system.cluster(request.origin_cluster).receive(request)
+
+    # ------------------------------------------------------------------ #
+    # HRM adjustment pass
+    # ------------------------------------------------------------------ #
+    def _run_reassurance(self, now_ms: float) -> None:
+        if self.reassurance is None:
+            return
+        active: Dict[str, Dict[str, ServiceSpec]] = {}
+        for node in self.system.all_workers():
+            services: Dict[str, ServiceSpec] = {}
+            for rr in node.running.values():
+                if rr.request.is_lc:
+                    services[rr.request.spec.name] = rr.request.spec
+            if services:
+                active[node.name] = services
+        if active:
+            self.reassurance.run(now_ms, active)

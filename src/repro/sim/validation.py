@@ -1,0 +1,119 @@
+"""Runtime invariant checking for the simulation (debug/CI mode).
+
+With ``RunnerConfig(validate=True)`` the runner calls
+:meth:`InvariantChecker.check` every tick; any violation raises
+:class:`InvariantViolation` with enough context to debug.  The cost is a few
+percent of runtime, so experiments leave it off and the test suite turns it
+on.
+
+Checked invariants:
+
+* **resource conservation** — ``allocated + free == capacity`` per node, no
+  negative components;
+* **allocation backing** — the node's allocated total equals the sum over
+  its running requests' allocations;
+* **state sanity** — running requests are in RUNNING state; queued requests
+  are in QUEUED_NODE; no request appears on two nodes;
+* **metric consistency** — completed + abandoned never exceeds arrived.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Set
+
+from repro.cluster.resources import ResourceVector
+from repro.sim.request import RequestState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import EdgeCloudSystem
+    from repro.metrics.collectors import RunMetrics
+
+__all__ = ["InvariantViolation", "InvariantChecker"]
+
+_TOL = 1e-6
+
+
+class InvariantViolation(AssertionError):
+    """A simulation invariant failed; the message names node and values."""
+
+
+class InvariantChecker:
+    """Stateless validator run against the live system each tick."""
+
+    def __init__(self, system: "EdgeCloudSystem") -> None:
+        self.system = system
+        self.checks_run = 0
+
+    def check(self, now_ms: float, metrics: "RunMetrics") -> None:
+        self.checks_run += 1
+        seen: Set[int] = set()
+        for worker in self.system.all_workers():
+            self._check_conservation(worker, now_ms)
+            self._check_backing(worker, now_ms)
+            self._check_states(worker, now_ms, seen)
+        self._check_metrics(metrics, now_ms)
+
+    # ------------------------------------------------------------------ #
+    # individual invariants
+    # ------------------------------------------------------------------ #
+    def _check_conservation(self, worker, now_ms: float) -> None:
+        total = worker.allocated + worker.free()
+        if not total.approx_equal(worker.capacity, tol=_TOL):
+            raise InvariantViolation(
+                f"t={now_ms}: {worker.name} allocated+free "
+                f"{total.as_tuple()} != capacity {worker.capacity.as_tuple()}"
+            )
+        if not worker.allocated.is_nonnegative():
+            raise InvariantViolation(
+                f"t={now_ms}: {worker.name} negative allocation "
+                f"{worker.allocated.as_tuple()}"
+            )
+
+    def _check_backing(self, worker, now_ms: float) -> None:
+        backing = ResourceVector()
+        for rr in worker.running.values():
+            backing = backing + rr.allocation
+        if not backing.approx_equal(worker.allocated, tol=1e-4):
+            raise InvariantViolation(
+                f"t={now_ms}: {worker.name} allocated "
+                f"{worker.allocated.as_tuple()} not backed by running "
+                f"requests {backing.as_tuple()}"
+            )
+
+    def _check_states(self, worker, now_ms: float, seen: Set[int]) -> None:
+        for rid, rr in worker.running.items():
+            if rid in seen:
+                raise InvariantViolation(
+                    f"t={now_ms}: request {rid} running on two nodes"
+                )
+            seen.add(rid)
+            if rr.request.state is not RequestState.RUNNING:
+                raise InvariantViolation(
+                    f"t={now_ms}: {worker.name} running request {rid} in "
+                    f"state {rr.request.state.value}"
+                )
+        for queue in (worker._lc_queue, worker._be_queue):
+            for request in queue:
+                if request.request_id in seen:
+                    raise InvariantViolation(
+                        f"t={now_ms}: request {request.request_id} queued "
+                        "while running elsewhere"
+                    )
+                if request.state is not RequestState.QUEUED_NODE:
+                    raise InvariantViolation(
+                        f"t={now_ms}: {worker.name} queued request "
+                        f"{request.request_id} in state {request.state.value}"
+                    )
+
+    def _check_metrics(self, metrics, now_ms: float) -> None:
+        if metrics.lc_completed + metrics.lc_abandoned > metrics.lc_arrived:
+            raise InvariantViolation(
+                f"t={now_ms}: LC completed({metrics.lc_completed}) + "
+                f"abandoned({metrics.lc_abandoned}) > "
+                f"arrived({metrics.lc_arrived})"
+            )
+        if metrics.lc_satisfied > metrics.lc_completed:
+            raise InvariantViolation(
+                f"t={now_ms}: LC satisfied({metrics.lc_satisfied}) > "
+                f"completed({metrics.lc_completed})"
+            )

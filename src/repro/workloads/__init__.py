@@ -1,0 +1,26 @@
+"""Workloads: service catalog, synthetic traces, and request patterns."""
+
+from .google import GoogleTraceConfig, GoogleTraceLoader, TraceFormatError
+from .patterns import PatternConfig, PatternKind, PatternWorkload
+from .spec import ServiceKind, ServiceSpec, default_catalog
+from .stats import TraceSummary, arrival_series, summarize_trace
+from .trace import SyntheticTrace, TraceConfig, TraceRecord, diurnal_rate
+
+__all__ = [
+    "ServiceSpec",
+    "ServiceKind",
+    "default_catalog",
+    "SyntheticTrace",
+    "TraceConfig",
+    "TraceRecord",
+    "diurnal_rate",
+    "PatternWorkload",
+    "PatternConfig",
+    "PatternKind",
+    "GoogleTraceLoader",
+    "GoogleTraceConfig",
+    "TraceFormatError",
+    "TraceSummary",
+    "summarize_trace",
+    "arrival_series",
+]

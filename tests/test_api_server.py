@@ -1,0 +1,111 @@
+"""API server store + watch semantics."""
+
+import pytest
+
+from repro.kube.api_server import (
+    ApiServer,
+    ConflictError,
+    EventType,
+    NotFoundError,
+)
+
+
+class TestCRUD:
+    def test_create_get_roundtrip(self):
+        api = ApiServer()
+        api.create("Pod", "p1", {"x": 1})
+        assert api.get("Pod", "p1") == {"x": 1}
+
+    def test_create_duplicate_conflicts(self):
+        api = ApiServer()
+        api.create("Pod", "p1", {})
+        with pytest.raises(ConflictError):
+            api.create("Pod", "p1", {})
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            ApiServer().get("Pod", "nope")
+
+    def test_namespaces_isolate(self):
+        api = ApiServer()
+        api.create("Pod", "p", 1, namespace="a")
+        api.create("Pod", "p", 2, namespace="b")
+        assert api.get("Pod", "p", namespace="a") == 1
+        assert api.get("Pod", "p", namespace="b") == 2
+
+    def test_delete_removes(self):
+        api = ApiServer()
+        api.create("Pod", "p1", {})
+        api.delete("Pod", "p1")
+        assert not api.exists("Pod", "p1")
+        with pytest.raises(NotFoundError):
+            api.delete("Pod", "p1")
+
+    def test_list_filters_kind_and_namespace(self):
+        api = ApiServer()
+        api.create("Pod", "p1", 1)
+        api.create("Pod", "p2", 2, namespace="other")
+        api.create("Node", "n1", 3)
+        assert api.list("Pod") == [1, 2]
+        assert api.list("Pod", namespace="other") == [2]
+        assert api.list("Node") == [3]
+
+    def test_patch_mutates_and_bumps_version(self):
+        api = ApiServer()
+        api.create("Pod", "p1", {"n": 0})
+        v1 = api.resource_version("Pod", "p1")
+        api.patch("Pod", "p1", lambda o: o.update(n=5))
+        assert api.get("Pod", "p1")["n"] == 5
+        assert api.resource_version("Pod", "p1") > v1
+
+
+class TestOptimisticConcurrency:
+    def test_stale_version_rejected(self):
+        api = ApiServer()
+        api.create("Pod", "p1", {"n": 0})
+        version = api.resource_version("Pod", "p1")
+        api.update("Pod", "p1", {"n": 1}, expected_version=version)
+        with pytest.raises(ConflictError):
+            api.update("Pod", "p1", {"n": 2}, expected_version=version)
+
+    def test_versions_monotonic(self):
+        api = ApiServer()
+        api.create("Pod", "a", {})
+        va = api.resource_version("Pod", "a")
+        api.create("Pod", "b", {})
+        vb = api.resource_version("Pod", "b")
+        assert vb > va
+
+
+class TestWatch:
+    def test_events_delivered_in_order(self):
+        api = ApiServer()
+        events = []
+        api.watch(lambda e: events.append((e.type, e.name)))
+        api.create("Pod", "p1", {})
+        api.update("Pod", "p1", {"v": 2})
+        api.delete("Pod", "p1")
+        assert events == [
+            (EventType.ADDED, "p1"),
+            (EventType.MODIFIED, "p1"),
+            (EventType.DELETED, "p1"),
+        ]
+
+    def test_kind_filter(self):
+        api = ApiServer()
+        pod_events, all_events = [], []
+        api.watch(pod_events.append, kind="Pod")
+        api.watch(all_events.append)
+        api.create("Node", "n1", {})
+        api.create("Pod", "p1", {})
+        assert len(pod_events) == 1
+        assert len(all_events) == 2
+
+    def test_unsubscribe(self):
+        api = ApiServer()
+        events = []
+        cancel = api.watch(events.append)
+        api.create("Pod", "p1", {})
+        cancel()
+        api.create("Pod", "p2", {})
+        assert len(events) == 1

@@ -1,0 +1,176 @@
+"""Static partition (K8s-native) and CERES resource-manager tests."""
+
+import pytest
+
+from repro.baselines.ceres import CeresConfig, CeresManager
+from repro.baselines.static import StaticPartitionManager
+from repro.cluster.node import WorkerNode
+from repro.cluster.resources import ResourceVector
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceKind, default_catalog
+
+rv = ResourceVector.of
+CATALOG = default_catalog()
+LC = next(s for s in CATALOG if s.kind is ServiceKind.LC)
+BE = next(s for s in CATALOG if s.kind is ServiceKind.BE)
+
+
+def node_with(manager, cpu=4.0, mem=8192.0):
+    node = WorkerNode("w0", 0, rv(cpu=cpu, memory=mem))
+    node.manager = manager
+    return node
+
+
+def req(spec):
+    return ServiceRequest(spec=spec, origin_cluster=0, arrival_ms=0.0)
+
+
+class TestStaticPartition:
+    def test_reference_allocation_granted(self):
+        mgr = StaticPartitionManager(lc_share=0.5)
+        node = node_with(mgr)
+        decision = mgr.admit(node, req(LC), 0.0)
+        assert decision.allocation.approx_equal(LC.reference_resources)
+
+    def test_partition_capacity_enforced(self):
+        mgr = StaticPartitionManager(lc_share=0.5)
+        node = node_with(mgr, cpu=2.0, mem=4096.0)
+        # LC quota = 1 CPU → one lc-cloud-render (1.0 cpu) fits, second not
+        first = mgr.admit(node, req(LC), 0.0)
+        assert first is not None
+        node.grant(first.allocation)
+        assert mgr.admit(node, req(LC), 0.0) is None
+
+    def test_partitions_isolated(self):
+        mgr = StaticPartitionManager(lc_share=0.5)
+        # BE quota = (1 cpu, 4096 MiB): one be-analytics (1 cpu) fills it
+        node = node_with(mgr, cpu=2.0, mem=8192.0)
+        d = mgr.admit(node, req(BE), 0.0)
+        assert d is not None
+        node.grant(d.allocation)
+        assert mgr.admit(node, req(BE), 0.0) is None
+        # the LC half is still available (lc-cloud-render also needs 1 cpu)
+        assert mgr.admit(node, req(LC), 0.0) is not None
+
+    def test_completion_releases_partition(self):
+        from repro.cluster.node import RunningRequest
+
+        mgr = StaticPartitionManager()
+        node = node_with(mgr)
+        d = mgr.admit(node, req(LC), 0.0)
+        node.grant(d.allocation)
+        rr = RunningRequest(request=req(LC), allocation=d.allocation,
+                            remaining_ms=0.0)
+        mgr.on_complete(node, rr, 100.0)
+        node.reclaim(d.allocation)
+        assert mgr.admit(node, req(LC), 0.0) is not None
+
+    def test_never_overcommits_node(self):
+        mgr = StaticPartitionManager(lc_share=0.9)
+        node = node_with(mgr, cpu=1.0, mem=1024.0)
+        granted = rv()
+        for _ in range(10):
+            d = mgr.admit(node, req(LC), 0.0)
+            if d is None:
+                break
+            node.grant(d.allocation)
+            granted = granted + d.allocation
+        assert granted.fits_in(node.capacity)
+
+    def test_no_preemption_or_adjustment(self):
+        mgr = StaticPartitionManager()
+        node = node_with(mgr)
+        mgr.tick(node, 0.0)  # must be a no-op
+        assert node.free().approx_equal(node.capacity)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPartitionManager(lc_share=0.0)
+
+
+class TestCeres:
+    def test_lc_gets_reference_allocation(self):
+        mgr = CeresManager()
+        node = node_with(mgr, cpu=8.0, mem=16384.0)
+        d = mgr.admit(node, req(LC), 0.0)
+        assert d.allocation.approx_equal(LC.reference_resources)
+
+    def test_be_gets_minimum_allocation(self):
+        mgr = CeresManager()
+        node = node_with(mgr, cpu=8.0, mem=16384.0)
+        d = mgr.admit(node, req(BE), 0.0)
+        assert d.allocation.approx_equal(BE.min_resources)
+
+    def test_be_blocked_by_memory_headroom(self):
+        mgr = CeresManager(CeresConfig(lc_memory_headroom=0.6))
+        node = node_with(mgr, cpu=16.0, mem=2 * BE.min_resources.memory)
+        # admitting one BE would leave only 50% memory free < 60% headroom
+        assert mgr.admit(node, req(BE), 0.0) is None
+
+    def test_lc_squeezes_be_cpu(self):
+        mgr = CeresManager(CeresConfig(lc_memory_headroom=0.0))
+        # capacity leaves 0.8 cpu free after BE's 0.5; the LC reference of
+        # 1.0 cpu needs a 0.2 squeeze, within BE's reducible 0.25
+        node = node_with(mgr, cpu=1.3, mem=65536.0)
+        d_be = mgr.admit(node, req(BE), 0.0)
+        node.grant(d_be.allocation)
+        node.running[1] = __import__(
+            "repro.cluster.node", fromlist=["RunningRequest"]
+        ).RunningRequest(request=req(BE), allocation=d_be.allocation,
+                         remaining_ms=1000.0)
+        d_lc = mgr.admit(node, req(LC), 0.0)
+        assert d_lc is not None
+        assert node.running[1].allocation.cpu < d_be.allocation.cpu
+
+    def test_lc_never_evicts(self):
+        mgr = CeresManager(CeresConfig(lc_memory_headroom=0.0))
+        node = node_with(mgr, cpu=16.0, mem=BE.min_resources.memory * 1.2)
+        d_be = mgr.admit(node, req(BE), 0.0)
+        node.grant(d_be.allocation)
+        from repro.cluster.node import RunningRequest
+
+        node.running[1] = RunningRequest(request=req(BE),
+                                         allocation=d_be.allocation,
+                                         remaining_ms=1000.0)
+        d_lc = mgr.admit(node, req(LC), 0.0)
+        # memory cannot be squeezed and CERES cannot evict → LC waits
+        assert d_lc is None
+        assert len(node.running) == 1
+
+    def test_controller_expands_below_setpoint(self):
+        from repro.cluster.node import RunningRequest
+
+        mgr = CeresManager(CeresConfig(period_ms=0.0))
+        node = node_with(mgr, cpu=16.0, mem=32768.0)
+        alloc = rv(cpu=0.5, memory=1024.0)
+        node.grant(alloc)
+        rr = RunningRequest(request=req(BE), allocation=alloc, remaining_ms=1e3)
+        node.running[rr.request.request_id] = rr
+        mgr.tick(node, 0.0)
+        assert rr.allocation.cpu > 0.5
+
+    def test_controller_shrinks_above_setpoint(self):
+        from repro.cluster.node import RunningRequest
+
+        mgr = CeresManager(CeresConfig(period_ms=0.0, target_utilization=0.3))
+        node = node_with(mgr, cpu=4.0, mem=32768.0)
+        alloc = rv(cpu=3.5, memory=1024.0)
+        node.grant(alloc)
+        rr = RunningRequest(request=req(BE), allocation=alloc, remaining_ms=1e3)
+        node.running[rr.request.request_id] = rr
+        mgr.tick(node, 0.0)
+        assert rr.allocation.cpu < 3.5
+
+    def test_controller_period_gated(self):
+        from repro.cluster.node import RunningRequest
+
+        mgr = CeresManager(CeresConfig(period_ms=1000.0))
+        node = node_with(mgr, cpu=16.0, mem=32768.0)
+        alloc = rv(cpu=0.5, memory=1024.0)
+        node.grant(alloc)
+        rr = RunningRequest(request=req(BE), allocation=alloc, remaining_ms=1e3)
+        node.running[rr.request.request_id] = rr
+        mgr.tick(node, 0.0)
+        cpu_after_first = rr.allocation.cpu
+        mgr.tick(node, 100.0)  # inside the period → no change
+        assert rr.allocation.cpu == cpu_after_first

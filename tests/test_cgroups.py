@@ -1,0 +1,137 @@
+"""CGroup tree tests: invariants and the ordered two-level resize protocol."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.kube.cgroups import CFS_PERIOD_US, CGroupError, CGroupTree
+
+
+def make_pod(tree, cpu=2.0, mem=1024.0, uid="abc123"):
+    return tree.create_pod_group(
+        "burstable", uid, ["main"], cpu_limit_cores=cpu, memory_limit_mib=mem
+    )
+
+
+class TestStructure:
+    def test_qos_groups_exist(self):
+        tree = CGroupTree()
+        for qos in ("guaranteed", "burstable", "besteffort"):
+            assert tree.qos_group(qos).path.endswith(qos)
+
+    def test_unknown_qos_rejected(self):
+        with pytest.raises(CGroupError):
+            CGroupTree().qos_group("weird")
+
+    def test_pod_group_paths(self):
+        tree = CGroupTree()
+        pod = make_pod(tree)
+        assert pod.path.endswith("burstable/podabc123")
+        assert "main" in pod.children
+
+    def test_duplicate_pod_rejected(self):
+        tree = CGroupTree()
+        make_pod(tree)
+        with pytest.raises(CGroupError):
+            make_pod(tree)
+
+    def test_remove_pod_group(self):
+        tree = CGroupTree()
+        make_pod(tree)
+        tree.remove_pod_group("burstable", "abc123")
+        with pytest.raises(CGroupError):
+            tree.pod_group("burstable", "abc123")
+
+
+class TestLimits:
+    def test_cpu_limit_from_quota(self):
+        tree = CGroupTree()
+        pod = make_pod(tree, cpu=1.5)
+        assert pod.cpu_limit_cores() == pytest.approx(1.5)
+
+    def test_unlimited_when_quota_negative(self):
+        tree = CGroupTree()
+        pod = tree.create_pod_group("besteffort", "x", ["c"])
+        assert pod.cpu_limit_cores() == float("inf")
+
+    def test_memory_limit_mib(self):
+        tree = CGroupTree()
+        pod = make_pod(tree, mem=512.0)
+        assert pod.memory_limit_mib() == pytest.approx(512.0)
+
+
+class TestWriteInvariants:
+    def test_child_cannot_exceed_parent(self):
+        tree = CGroupTree()
+        pod = make_pod(tree, cpu=2.0)
+        child = pod.children["main"]
+        with pytest.raises(CGroupError, match="exceeds parent"):
+            tree.write(child, "cpu.cfs_quota_us", 4.0 * CFS_PERIOD_US)
+
+    def test_parent_cannot_shrink_below_child(self):
+        tree = CGroupTree()
+        pod = make_pod(tree, cpu=2.0)
+        with pytest.raises(CGroupError, match="below child"):
+            tree.write(pod, "cpu.cfs_quota_us", 1.0 * CFS_PERIOD_US)
+
+    def test_unknown_control_rejected(self):
+        tree = CGroupTree()
+        pod = make_pod(tree)
+        with pytest.raises(CGroupError):
+            tree.write(pod, "cpu.bogus", 1)
+
+    def test_writes_cost_latency_and_log(self):
+        tree = CGroupTree()
+        pod = make_pod(tree, cpu=2.0)
+        n_before = len(tree.write_log)
+        latency = tree.write(pod, "cpu.cfs_quota_us", 3.0 * CFS_PERIOD_US)
+        assert latency > 0
+        assert len(tree.write_log) == n_before + 1
+
+
+class TestResizeProtocol:
+    def test_expand_succeeds_with_correct_order(self):
+        tree = CGroupTree()
+        make_pod(tree, cpu=1.0, mem=512.0)
+        latency = tree.resize_pod(
+            "burstable", "abc123", "main", ResourceVector(cpu=2.0, memory=1024.0)
+        )
+        pod = tree.pod_group("burstable", "abc123")
+        assert pod.cpu_limit_cores() == pytest.approx(2.0)
+        assert pod.children["main"].cpu_limit_cores() == pytest.approx(2.0)
+        assert latency > 0
+
+    def test_shrink_succeeds_with_correct_order(self):
+        tree = CGroupTree()
+        make_pod(tree, cpu=4.0, mem=2048.0)
+        tree.resize_pod(
+            "burstable", "abc123", "main", ResourceVector(cpu=1.0, memory=512.0)
+        )
+        pod = tree.pod_group("burstable", "abc123")
+        assert pod.cpu_limit_cores() == pytest.approx(1.0)
+
+    def test_resize_latency_is_dvpa_scale(self):
+        """A full CPU+memory resize costs ~23 ms (§7.1's D-VPA measurement)."""
+        tree = CGroupTree()
+        make_pod(tree, cpu=1.0, mem=512.0)
+        latency = tree.resize_pod(
+            "burstable", "abc123", "main", ResourceVector(cpu=2.0, memory=1024.0)
+        )
+        assert 15.0 <= latency <= 30.0
+
+    def test_missing_container_rejected(self):
+        tree = CGroupTree()
+        make_pod(tree)
+        with pytest.raises(CGroupError):
+            tree.resize_pod(
+                "burstable", "abc123", "ghost", ResourceVector(cpu=1.0)
+            )
+
+    def test_wrong_order_write_raises(self):
+        """Writing container before pod on expansion violates the kernel
+        invariant — exactly the failure mode §4.2 says the protocol avoids."""
+        tree = CGroupTree()
+        pod = make_pod(tree, cpu=1.0)
+        container = pod.children["main"]
+        with pytest.raises(CGroupError):
+            # container first (wrong for expansion): exceeds the pod limit
+            tree.write(container, "cpu.cfs_quota_us", 2.0 * CFS_PERIOD_US)

@@ -1,0 +1,198 @@
+"""Deployment controller, metrics report, and CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.kube.api_server import ApiServer
+from repro.kube.controller import Deployment, DeploymentController
+from repro.kube.objects import ContainerSpec, PodSpec
+from repro.kube.scheduler import NodeView
+from repro.metrics.collectors import RunMetrics
+from repro.metrics.report import (
+    comparison_table,
+    load_metrics,
+    metrics_from_dict,
+    metrics_to_dict,
+    save_metrics,
+)
+
+rv = ResourceVector.of
+
+
+def template(cpu=0.5, mem=256.0):
+    return PodSpec(
+        containers=[
+            ContainerSpec("main", requests=rv(cpu=cpu, memory=mem),
+                          limits=rv(cpu=cpu, memory=mem))
+        ],
+        service_name="web",
+    )
+
+
+def nodes(n=3, cpu=4.0):
+    return [
+        NodeView(f"n{i}", rv(cpu=cpu, memory=8192.0), rv()) for i in range(n)
+    ]
+
+
+class TestDeploymentController:
+    def make(self, replicas=3):
+        api = ApiServer()
+        controller = DeploymentController(api)
+        controller.apply(Deployment("web", replicas, template()))
+        return api, controller
+
+    def test_scale_up_creates_pods(self):
+        api, controller = self.make(replicas=3)
+        result = controller.reconcile("web", nodes())
+        assert len(result.created) == 3
+        assert len(api.list("Pod")) == 3
+
+    def test_reconcile_is_idempotent(self):
+        api, controller = self.make(replicas=2)
+        controller.reconcile("web", nodes())
+        second = controller.reconcile("web", nodes())
+        assert not second.changed
+
+    def test_scale_down_deletes_youngest(self):
+        api, controller = self.make(replicas=3)
+        controller.reconcile("web", nodes())
+        created_names = sorted(p.name for p in api.list("Pod"))
+        controller.scale("web", 1)
+        result = controller.reconcile("web", nodes())
+        assert len(result.deleted) == 2
+        remaining = [p.name for p in api.list("Pod")]
+        assert remaining == [created_names[0]]
+
+    def test_unschedulable_counted(self):
+        api, controller = self.make(replicas=2)
+        tiny = [NodeView("n0", rv(cpu=0.1, memory=64.0), rv())]
+        result = controller.reconcile("web", tiny)
+        assert result.unschedulable == 2
+        assert api.list("Pod") == []
+
+    def test_pods_carry_app_label_and_binding(self):
+        api, controller = self.make(replicas=1)
+        controller.reconcile("web", nodes())
+        pod = api.list("Pod")[0]
+        assert pod.labels["app"] == "web"
+        assert pod.spec.node_name is not None
+
+    def test_negative_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment("web", -1, template())
+        _, controller = self.make()
+        with pytest.raises(ValueError):
+            controller.scale("web", -2)
+
+
+class TestReport:
+    def sample_metrics(self, thr=10):
+        m = RunMetrics()
+        m.lc_arrived = 10
+        m.lc_completed = 9
+        m.lc_satisfied = 8
+        m.be_completed = thr
+        m.utilization = [0.5, 0.7]
+        m.lc_latencies_ms = [100.0, 200.0]
+        return m
+
+    def test_roundtrip_through_dict(self):
+        m = self.sample_metrics()
+        clone = metrics_from_dict(metrics_to_dict(m))
+        assert clone.qos_satisfaction_rate == m.qos_satisfaction_rate
+        assert clone.utilization == m.utilization
+
+    def test_save_and_load_single(self, tmp_path):
+        m = self.sample_metrics()
+        path = save_metrics(m, tmp_path / "run.json")
+        loaded = load_metrics(path)
+        assert isinstance(loaded, RunMetrics)
+        assert loaded.be_throughput == m.be_throughput
+
+    def test_save_and_load_set(self, tmp_path):
+        runs = {"a": self.sample_metrics(5), "b": self.sample_metrics(9)}
+        path = save_metrics(runs, tmp_path / "set.json")
+        loaded = load_metrics(path)
+        assert set(loaded) == {"a", "b"}
+        assert loaded["b"].be_throughput == 9
+
+    def test_schema_guard(self):
+        with pytest.raises(ValueError):
+            metrics_from_dict({"_schema": 999})
+
+    def test_comparison_table_deltas(self):
+        rows = comparison_table(
+            {"base": self.sample_metrics(10), "new": self.sample_metrics(15)}
+        )
+        assert rows[0]["system"] == "base"
+        assert "thr_vs_base_pct" in rows[1]
+        assert rows[1]["thr_vs_base_pct"] == pytest.approx(50.0)
+
+    def test_comparison_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            comparison_table({"a": self.sample_metrics()}, baseline="zzz")
+
+    def test_empty_comparison(self):
+        assert comparison_table({}) == []
+
+
+class TestCLI:
+    def test_run_command(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out_path = tmp_path / "metrics.json"
+        code = main(
+            [
+                "run", "--stack", "k8s-native", "--clusters", "2",
+                "--workers", "2", "--duration", "3", "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "qos_satisfaction_rate" in captured
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert "_derived" in payload
+
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "compare", "--stacks", "tango,k8s-native", "--clusters", "2",
+                "--workers", "2", "--duration", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tango" in out and "k8s-native" in out
+
+    def test_compare_rejects_unknown_stack(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "--stacks", "bogus"]) == 2
+
+    def test_parser_experiment_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["experiment", "fig9"])
+        assert args.name == "fig9"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["experiment", "nope"])
+
+
+class TestCLIExperiment:
+    def test_experiment_command_runs_fast_harness(self, capsys):
+        from repro.cli import main
+
+        code = main(["experiment", "dvpa"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "D-VPA" in out
+
+    def test_module_entrypoint_importable(self):
+        import repro.__main__  # noqa: F401

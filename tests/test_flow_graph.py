@@ -1,0 +1,96 @@
+"""Tests for the supply/demand transport lowering used by DSS-LC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow.graph import SupplyDemandGraph, solve_transport
+
+
+def make_star(pending: int, capacities, delays):
+    """Master at node 0 supplying `pending`, workers 1..n absorbing."""
+    graph = SupplyDemandGraph()
+    graph.supplies = [pending] + [-c for c in capacities]
+    for i, delay in enumerate(delays):
+        graph.edges.append((0, 1 + i, delay, 1000))
+    return graph
+
+
+class TestTransport:
+    def test_prefers_low_delay_worker(self):
+        graph = make_star(3, [10, 10], [1.0, 50.0])
+        result = solve_transport(graph)
+        assert result.placed == 3
+        assert result.absorbed == {1: 3}
+
+    def test_spills_when_cheap_worker_full(self):
+        graph = make_star(8, [5, 10], [1.0, 50.0])
+        result = solve_transport(graph)
+        assert result.placed == 8
+        assert result.absorbed[1] == 5
+        assert result.absorbed[2] == 3
+
+    def test_respects_link_capacity(self):
+        graph = SupplyDemandGraph()
+        graph.supplies = [6, -10]
+        graph.edges = [(0, 1, 1.0, 4)]
+        result = solve_transport(graph)
+        assert result.placed == 4
+
+    def test_total_delay_accounting(self):
+        graph = make_star(2, [2], [7.5])
+        result = solve_transport(graph)
+        assert result.total_delay_ms == pytest.approx(15.0, abs=0.01)
+
+    def test_empty_graph(self):
+        result = solve_transport(SupplyDemandGraph())
+        assert result.placed == 0
+        assert result.routed == {}
+
+    def test_insufficient_capacity_partial_placement(self):
+        graph = make_star(10, [3, 2], [1.0, 2.0])
+        result = solve_transport(graph)
+        assert result.placed == 5
+
+    def test_multi_hop_relay(self):
+        # master(0) → relay(1) → worker(2); relay has no capacity itself
+        graph = SupplyDemandGraph()
+        graph.supplies = [2, 0, -2]
+        graph.edges = [(0, 1, 1.0, 10), (1, 2, 1.0, 10)]
+        result = solve_transport(graph)
+        assert result.placed == 2
+        assert result.absorbed == {2: 2}
+        assert result.routed[(0, 1)] == 2
+        assert result.routed[(1, 2)] == 2
+
+
+class TestTransportProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pending=st.integers(min_value=0, max_value=30),
+        caps=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=6),
+    )
+    def test_placed_never_exceeds_supply_or_capacity(self, pending, caps):
+        delays = [float(i + 1) for i in range(len(caps))]
+        result = solve_transport(make_star(pending, caps, delays))
+        assert result.placed <= pending
+        assert result.placed <= sum(caps)
+        assert result.placed == min(pending, sum(caps))  # star is always feasible
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pending=st.integers(min_value=1, max_value=30),
+        caps=st.lists(st.integers(min_value=1, max_value=10), min_size=2, max_size=6),
+    )
+    def test_absorption_respects_per_node_capacity(self, pending, caps):
+        delays = [float(i + 1) for i in range(len(caps))]
+        result = solve_transport(make_star(pending, caps, delays))
+        for j, count in result.absorbed.items():
+            assert count <= caps[j - 1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(pending=st.integers(min_value=1, max_value=20))
+    def test_greedy_delay_ordering(self, pending):
+        # with ample capacity everywhere, everything goes to the closest node
+        caps = [100, 100, 100]
+        result = solve_transport(make_star(pending, caps, [5.0, 1.0, 9.0]))
+        assert result.absorbed == {2: pending}

@@ -1,0 +1,141 @@
+"""Google cluster-data adapter tests (synthetic CSV in the real schema)."""
+
+import io
+
+import pytest
+
+from repro.workloads.google import (
+    GoogleTraceConfig,
+    GoogleTraceLoader,
+    TraceFormatError,
+)
+from repro.workloads.spec import ServiceKind
+
+HEADER = (
+    "time,collection_id,event_type,collection_type,latency_sensitivity,"
+    "resource_request_cpu,resource_request_memory\n"
+)
+
+
+def csv_of(rows):
+    return io.StringIO(HEADER + "".join(rows))
+
+
+def row(
+    time_us=1_000_000,
+    cid=7,
+    event="SCHEDULE",
+    ctype="JOB",
+    tier=3,
+    cpu=0.05,
+    mem=0.02,
+):
+    return f"{time_us},{cid},{event},{ctype},{tier},{cpu},{mem}\n"
+
+
+class TestParsing:
+    def test_schedule_job_rows_kept(self):
+        loader = GoogleTraceLoader()
+        records = loader.load(csv_of([row(), row(event="FINISH"), row(ctype="ALLOC")]))
+        assert len(records) == 1
+
+    def test_numeric_event_codes_accepted(self):
+        loader = GoogleTraceLoader()
+        records = loader.load(csv_of([row(event="3", ctype="1")]))
+        assert len(records) == 1
+
+    def test_tier_split(self):
+        loader = GoogleTraceLoader()
+        records = loader.load(
+            csv_of([row(tier=3), row(tier=2), row(tier=1), row(tier=0)])
+        )
+        kinds = [r.kind for r in records]
+        assert kinds.count(ServiceKind.LC) == 2
+        assert kinds.count(ServiceKind.BE) == 2
+
+    def test_time_and_resource_scaling(self):
+        cfg = GoogleTraceConfig(cpu_scale=16.0, memory_scale=32768.0,
+                                time_compression=1000.0)
+        loader = GoogleTraceLoader(cfg)
+        records = loader.load(csv_of([row(time_us=2_000_000, cpu=0.25, mem=0.5)]))
+        rec = records[0]
+        assert rec.time_ms == pytest.approx(2.0)  # 2 s / 1000 compression
+        assert rec.cpu == pytest.approx(4.0)
+        assert rec.memory == pytest.approx(16384.0)
+
+    def test_cluster_sharding_by_collection(self):
+        cfg = GoogleTraceConfig(n_clusters=3)
+        loader = GoogleTraceLoader(cfg)
+        records = loader.load(csv_of([row(cid=4), row(cid=5)]))
+        assert [r.cluster_id for r in records] == [1, 2]
+
+    def test_explicit_cluster_column(self):
+        text = (
+            HEADER.strip() + ",cluster\n"
+            + "1000,1,SCHEDULE,JOB,3,0.05,0.02,2\n"
+        )
+        loader = GoogleTraceLoader(GoogleTraceConfig(n_clusters=4))
+        records = loader.load(io.StringIO(text))
+        assert records[0].cluster_id == 2
+
+    def test_bad_rows_counted_not_fatal(self):
+        loader = GoogleTraceLoader()
+        records = loader.load(
+            csv_of([row(), "oops,x,SCHEDULE,JOB,3,notanumber,0.02\n"])
+        )
+        assert len(records) == 1
+        assert loader.skipped_rows == 1
+
+    def test_missing_columns_rejected(self):
+        loader = GoogleTraceLoader()
+        with pytest.raises(TraceFormatError):
+            loader.load(io.StringIO("time,collection_id\n1,2\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceFormatError):
+            GoogleTraceLoader().load(io.StringIO(""))
+
+    def test_max_time_filter(self):
+        cfg = GoogleTraceConfig(max_time_ms=1.5)
+        loader = GoogleTraceLoader(cfg)
+        records = loader.load(
+            csv_of([row(time_us=1_000_000), row(time_us=9_000_000)])
+        )
+        assert len(records) == 1
+
+    def test_records_sorted_by_time(self):
+        loader = GoogleTraceLoader()
+        records = loader.load(
+            csv_of([row(time_us=5_000_000), row(time_us=1_000_000)])
+        )
+        assert records[0].time_ms < records[1].time_ms
+
+
+class TestClassification:
+    def test_cpu_binning_within_class(self):
+        loader = GoogleTraceLoader(GoogleTraceConfig(cpu_scale=16.0))
+        small = loader.load(csv_of([row(cpu=0.01)]))[0]   # 0.16 cores
+        large = loader.load(csv_of([row(cpu=0.2)]))[0]    # 3.2 cores
+        assert small.service != large.service
+
+    def test_loaded_trace_drives_simulation(self):
+        """End-to-end: a CSV trace runs through the full Tango stack."""
+        from repro import TangoConfig, TangoSystem
+        from repro.cluster.topology import TopologyConfig
+        from repro.sim.runner import RunnerConfig
+
+        rows = [
+            row(time_us=int(i * 2e5), cid=i, tier=(3 if i % 2 else 1),
+                cpu=0.04, mem=0.03)
+            for i in range(40)
+        ]
+        records = GoogleTraceLoader(
+            GoogleTraceConfig(n_clusters=2, time_compression=1.0)
+        ).load(csv_of(rows))
+        config = TangoConfig.tango(
+            topology=TopologyConfig(n_clusters=2, workers_per_cluster=2, seed=0),
+            runner=RunnerConfig(duration_ms=9_000.0),
+        )
+        metrics = TangoSystem(config).run(records)
+        assert metrics.lc_arrived > 0
+        assert metrics.be_arrived > 0

@@ -1,0 +1,164 @@
+"""HRM manager tests: regulations, preemption, BE expansion (§4.1)."""
+
+import pytest
+
+from repro.cluster.node import WorkerNode
+from repro.cluster.resources import ResourceVector
+from repro.hrm.qos import QoSDetector
+from repro.hrm.reassurance import ReassuranceConfig, ReassuranceMechanism
+from repro.hrm.regulations import HRMConfig, HRMManager
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceKind, default_catalog
+
+rv = ResourceVector.of
+CATALOG = default_catalog()
+LC = next(s for s in CATALOG if s.kind is ServiceKind.LC)
+BE = next(s for s in CATALOG if s.kind is ServiceKind.BE)
+
+
+def hrm(**cfg):
+    det = QoSDetector()
+    mech = ReassuranceMechanism(det, ReassuranceConfig())
+    return HRMManager(det, mech, HRMConfig(**cfg))
+
+
+def node_with(manager, cpu=4.0, mem=8192.0):
+    node = WorkerNode("w0", 0, rv(cpu=cpu, memory=mem))
+    node.manager = manager
+    return node
+
+
+def req(spec, arrival=0.0):
+    return ServiceRequest(spec=spec, origin_cluster=0, arrival_ms=arrival)
+
+
+class TestAdmission:
+    def test_lc_admitted_with_adjusted_minimum(self):
+        manager = hrm()
+        node = node_with(manager)
+        decision = manager.admit(node, req(LC), 0.0)
+        assert decision is not None
+        assert decision.allocation.approx_equal(
+            manager.reassurance.min_resources(node.name, LC).min_with(node.capacity)
+        )
+
+    def test_admission_charges_dvpa_latency(self):
+        manager = hrm()
+        node = node_with(manager)
+        decision = manager.admit(node, req(LC), 0.0)
+        assert decision.overhead_ms > 0
+
+    def test_dvpa_latency_can_be_disabled(self):
+        manager = hrm(charge_dvpa_latency=False)
+        node = node_with(manager)
+        assert manager.admit(node, req(LC), 0.0).overhead_ms == 0.0
+
+    def test_be_denied_when_full_never_preempts(self):
+        manager = hrm()
+        node = node_with(manager, cpu=0.2, mem=100.0)
+        assert manager.admit(node, req(BE), 0.0) is None
+        assert manager.preemption_evictions == 0
+
+
+class TestPreemption:
+    def fill_with_be(self, manager, node, count=3):
+        """Run BE requests until the node is packed."""
+        for _ in range(count):
+            node.enqueue(req(BE), 0.0)
+        node.step(0.0, 25.0)
+
+    def test_lc_squeezes_be_cpu(self):
+        manager = hrm()
+        # memory plentiful so only CPU is contended; capacity chosen so the
+        # two BE minima fill the node and the LC demand cannot fit free CPU
+        node = node_with(manager, cpu=1.2, mem=64_000.0)
+        self.fill_with_be(manager, node, count=2)
+        cpu_before = [r.allocation.cpu for r in node.running_be()]
+        decision = manager.admit(node, req(LC), 0.0)
+        assert decision is not None
+        cpu_after = [r.allocation.cpu for r in node.running_be()]
+        assert sum(cpu_after) < sum(cpu_before)
+        assert decision.evicted == []  # compressible path: no eviction
+
+    def test_lc_evicts_be_for_memory(self):
+        manager = hrm()
+        # memory-constrained node: BE packs all memory
+        node = node_with(manager, cpu=16.0, mem=2 * 1024.0)
+        self.fill_with_be(manager, node, count=2)
+        assert node.free().memory < LC.min_resources.memory
+        decision = manager.admit(node, req(LC), 0.0)
+        assert decision is not None
+        assert len(decision.evicted) >= 1
+        assert all(not rr.is_lc for rr in decision.evicted)
+
+    def test_admission_fails_when_even_eviction_cannot_help(self):
+        manager = hrm()
+        node = node_with(manager, cpu=0.05, mem=16.0)
+        assert manager.admit(node, req(LC), 0.0) is None
+
+    def test_eviction_prefers_least_progress(self):
+        manager = hrm()
+        node = node_with(manager, cpu=16.0, mem=3 * 1024.0)
+        node.enqueue(req(BE), 0.0)
+        node.step(0.0, 25.0)
+        # let the first BE make progress, then add a fresh one
+        for t in range(1, 20):
+            node.step(t * 25.0, 25.0)
+        first = next(iter(node.running.values()))
+        node.enqueue(req(BE), 500.0)
+        node.step(500.0, 25.0)
+        if len(node.running) < 2:
+            pytest.skip("node too small to co-run two BE jobs")
+        decision = manager.admit(node, req(LC), 525.0)
+        assert decision is not None and decision.evicted
+        evicted_ids = {rr.request.request_id for rr in decision.evicted}
+        # the older (more progressed) BE should be spared when possible
+        assert first.request.request_id not in evicted_ids or len(evicted_ids) > 1
+
+
+class TestBEExpansion:
+    def test_be_grows_into_idle_resources(self):
+        manager = hrm()
+        node = node_with(manager, cpu=8.0, mem=16_384.0)
+        node.enqueue(req(BE), 0.0)
+        node.step(0.0, 25.0)
+        rr = next(iter(node.running.values()))
+        start_cpu = rr.allocation.cpu
+        for t in range(1, 10):
+            manager.tick(node, t * 25.0)
+        assert rr.allocation.cpu > start_cpu
+
+    def test_expansion_capped_at_multiple_of_reference(self):
+        manager = hrm()
+        cap_mult = manager.config.be_expand_cap
+        node = node_with(manager, cpu=64.0, mem=64_000.0)
+        node.enqueue(req(BE), 0.0)
+        node.step(0.0, 25.0)
+        rr = next(iter(node.running.values()))
+        for t in range(1, 100):
+            manager.tick(node, t * 25.0)
+        assert rr.allocation.cpu <= BE.reference_resources.cpu * cap_mult + 0.1
+
+    def test_no_expansion_when_node_full(self):
+        manager = hrm()
+        node = node_with(manager, cpu=1.0, mem=2048.0)
+        node.enqueue(req(BE), 0.0)
+        node.step(0.0, 25.0)
+        free_before = node.free().cpu
+        manager.tick(node, 25.0)
+        assert node.free().cpu <= free_before + 1e-9
+
+
+class TestQoSFeedback:
+    def test_completion_feeds_detector(self):
+        manager = hrm()
+        node = node_with(manager)
+        r = req(LC)
+        node.enqueue(r, 0.0)
+        t = 0.0
+        for _ in range(200):
+            done, _, _ = node.step(t, 25.0)
+            t += 25.0
+            if done:
+                break
+        assert manager.detector.sample_count(node.name, LC.name) == 1

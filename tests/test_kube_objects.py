@@ -1,0 +1,90 @@
+"""Pod/QoS-class object model tests (kubelet classification semantics)."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.kube.objects import (
+    ContainerSpec,
+    NodeInfo,
+    Pod,
+    PodSpec,
+    QoSClass,
+    ServiceObject,
+    qos_class_of,
+)
+
+rv = ResourceVector.of
+
+
+def container(req_cpu=0.0, req_mem=0.0, lim_cpu=0.0, lim_mem=0.0, name="c0"):
+    return ContainerSpec(
+        name=name,
+        requests=rv(cpu=req_cpu, memory=req_mem),
+        limits=rv(cpu=lim_cpu, memory=lim_mem),
+    )
+
+
+class TestQoSClassification:
+    def test_guaranteed_when_requests_equal_limits(self):
+        spec = PodSpec(containers=[container(1, 512, 1, 512)])
+        assert qos_class_of(spec) is QoSClass.GUARANTEED
+
+    def test_best_effort_when_nothing_set(self):
+        spec = PodSpec(containers=[container()])
+        assert qos_class_of(spec) is QoSClass.BEST_EFFORT
+
+    def test_burstable_when_limits_exceed_requests(self):
+        spec = PodSpec(containers=[container(1, 512, 2, 1024)])
+        assert qos_class_of(spec) is QoSClass.BURSTABLE
+
+    def test_burstable_when_only_one_container_is_guaranteed(self):
+        spec = PodSpec(
+            containers=[container(1, 512, 1, 512), container(0.5, 0, 1, 256, "c1")]
+        )
+        assert qos_class_of(spec) is QoSClass.BURSTABLE
+
+    def test_empty_pod_is_best_effort(self):
+        assert qos_class_of(PodSpec()) is QoSClass.BEST_EFFORT
+
+    def test_limits_default_to_requests(self):
+        c = ContainerSpec(name="c0", requests=rv(cpu=1, memory=256))
+        assert c.effective_limits().approx_equal(rv(cpu=1, memory=256))
+        # and such a pod classifies Guaranteed, as in K8s
+        assert qos_class_of(PodSpec(containers=[c])) is QoSClass.GUARANTEED
+
+
+class TestPodSpec:
+    def test_total_requests_sums_containers(self):
+        spec = PodSpec(
+            containers=[container(1, 512, 1, 512), container(0.5, 256, 1, 512, "c1")]
+        )
+        total = spec.total_requests()
+        assert total.cpu == pytest.approx(1.5)
+        assert total.memory == pytest.approx(768)
+
+    def test_pod_uids_unique(self):
+        a = Pod(name="a", spec=PodSpec())
+        b = Pod(name="b", spec=PodSpec())
+        assert a.uid != b.uid
+
+    def test_pod_key(self):
+        p = Pod(name="web", spec=PodSpec(), namespace="prod")
+        assert p.key() == "prod/web"
+
+
+class TestNodeAndService:
+    def test_allocatable_reserves_system_slice(self):
+        node = NodeInfo(name="n0", capacity=rv(cpu=4, memory=8192))
+        alloc = node.allocatable(system_reserved=0.05)
+        assert alloc.cpu == pytest.approx(3.8)
+
+    def test_service_selector_matching(self):
+        svc = ServiceObject(name="web", selector={"app": "web"})
+        match = Pod(name="p1", spec=PodSpec(), labels={"app": "web", "v": "2"})
+        other = Pod(name="p2", spec=PodSpec(), labels={"app": "db"})
+        assert svc.matches(match)
+        assert not svc.matches(other)
+
+    def test_empty_selector_matches_everything(self):
+        svc = ServiceObject(name="any")
+        assert svc.matches(Pod(name="p", spec=PodSpec()))

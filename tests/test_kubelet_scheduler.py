@@ -1,0 +1,134 @@
+"""Kubelet lifecycle + native scheduler + round-robin proxy tests."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.kube.api_server import ApiServer
+from repro.kube.kubelet import CONTAINER_COLD_START_MS, Kubelet
+from repro.kube.objects import ContainerSpec, Pod, PodPhase, PodSpec
+from repro.kube.scheduler import KubeScheduler, NodeView, RoundRobinProxy
+
+rv = ResourceVector.of
+CAP = rv(cpu=4, memory=8192)
+
+
+def make_pod(name="p0", cpu=1.0, mem=512.0, node="n0"):
+    return Pod(
+        name=name,
+        spec=PodSpec(
+            containers=[
+                ContainerSpec(
+                    name="main",
+                    requests=rv(cpu=cpu, memory=mem),
+                    limits=rv(cpu=cpu, memory=mem),
+                )
+            ],
+            node_name=node,
+        ),
+    )
+
+
+class TestKubelet:
+    def test_admit_and_cold_start(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        pod = make_pod()
+        api.create("Pod", pod.name, pod)
+        assert kubelet.admit(pod, now_ms=0.0)
+        assert kubelet.sync(now_ms=10.0) == []  # still starting
+        ready = kubelet.sync(now_ms=CONTAINER_COLD_START_MS + 1)
+        assert [p.name for p in ready] == ["p0"]
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_admission_rejects_overcommit(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        assert kubelet.admit(make_pod("a", cpu=3.0), 0.0)
+        assert not kubelet.admit(make_pod("b", cpu=2.0), 0.0)
+
+    def test_allocated_tracks_pending_and_running(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        kubelet.admit(make_pod("a", cpu=1.0), 0.0)
+        assert kubelet.allocated().cpu == pytest.approx(1.0)
+        kubelet.sync(CONTAINER_COLD_START_MS + 1)
+        assert kubelet.allocated().cpu == pytest.approx(1.0)
+
+    def test_evict_frees_resources(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        pod = make_pod("a", cpu=2.0)
+        api.create("Pod", pod.name, pod)
+        kubelet.admit(pod, 0.0)
+        kubelet.sync(CONTAINER_COLD_START_MS + 1)
+        kubelet.evict(pod)
+        assert kubelet.allocated().cpu == pytest.approx(0.0)
+        assert pod.phase is PodPhase.FAILED
+        assert kubelet.evicted_count == 1
+
+    def test_cgroup_created_and_removed(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        pod = make_pod("a")
+        kubelet.admit(pod, 0.0)
+        group = kubelet.cgroups.pod_group(pod.qos_class.value, pod.uid)
+        assert "main" in group.children
+        kubelet.evict(pod)
+        from repro.kube.cgroups import CGroupError
+
+        with pytest.raises(CGroupError):
+            kubelet.cgroups.pod_group(pod.qos_class.value, pod.uid)
+
+    def test_delete_event_tears_down(self):
+        api = ApiServer()
+        kubelet = Kubelet("n0", api, capacity=CAP)
+        pod = make_pod("a")
+        api.create("Pod", pod.name, pod)
+        kubelet.admit(pod, 0.0)
+        api.delete("Pod", pod.name)
+        assert kubelet.pod_count() == 0
+
+
+class TestKubeScheduler:
+    def nodes(self):
+        return [
+            NodeView("n0", rv(cpu=4, memory=8192), rv(cpu=3, memory=4096)),
+            NodeView("n1", rv(cpu=4, memory=8192), rv(cpu=1, memory=1024)),
+        ]
+
+    def test_prefers_least_requested(self):
+        sched = KubeScheduler()
+        assert sched.select_node(make_pod(cpu=0.5, mem=256), self.nodes()) == "n1"
+
+    def test_filters_infeasible(self):
+        sched = KubeScheduler()
+        # only n1 can fit 2 CPUs
+        assert sched.select_node(make_pod(cpu=2.0), self.nodes()) == "n1"
+
+    def test_none_when_nothing_fits(self):
+        sched = KubeScheduler()
+        assert sched.select_node(make_pod(cpu=16.0), self.nodes()) is None
+
+
+class TestRoundRobinProxy:
+    def test_cycles_endpoints(self):
+        proxy = RoundRobinProxy()
+        eps = ["a", "b", "c"]
+        picks = [proxy.next_endpoint("svc", eps) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_per_service_cursors(self):
+        proxy = RoundRobinProxy()
+        eps = ["a", "b"]
+        assert proxy.next_endpoint("s1", eps) == "a"
+        assert proxy.next_endpoint("s2", eps) == "a"
+        assert proxy.next_endpoint("s1", eps) == "b"
+
+    def test_empty_endpoints(self):
+        assert RoundRobinProxy().next_endpoint("s", []) is None
+
+    def test_reset(self):
+        proxy = RoundRobinProxy()
+        proxy.next_endpoint("s", ["a", "b"])
+        proxy.reset("s")
+        assert proxy.next_endpoint("s", ["a", "b"]) == "a"

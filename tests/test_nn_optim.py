@@ -1,0 +1,91 @@
+"""Optimizer behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import Adam, SGD, clip_grad_norm
+
+
+def quadratic_problem():
+    """Minimise ||x - target||^2 from zero."""
+    target = np.array([1.0, -2.0, 3.0])
+    x = np.zeros(3)
+    g = np.zeros(3)
+
+    def compute_grad():
+        g[...] = 2 * (x - target)
+
+    return x, g, target, compute_grad
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        x, g, target, compute = quadratic_problem()
+        opt = SGD([x], [g], lr=0.1)
+        for _ in range(200):
+            compute()
+            opt.step()
+        assert np.allclose(x, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        x1, g1, target, c1 = quadratic_problem()
+        x2, g2, _, c2 = quadratic_problem()
+        plain = SGD([x1], [g1], lr=0.01)
+        momentum = SGD([x2], [g2], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            c1(); plain.step()
+            c2(); momentum.step()
+        assert np.linalg.norm(x2 - target) < np.linalg.norm(x1 - target)
+
+    def test_mismatched_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(2)], [])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        x, g, target, compute = quadratic_problem()
+        opt = Adam([x], [g], lr=0.05)
+        for _ in range(500):
+            compute()
+            opt.step()
+        assert np.allclose(x, target, atol=1e-2)
+
+    def test_first_step_size_is_lr(self):
+        # with bias correction, |Δx| of the first step equals lr exactly
+        x = np.array([0.0])
+        g = np.array([123.0])
+        opt = Adam([x], [g], lr=2e-4)
+        opt.step()
+        assert abs(x[0] + 2e-4) < 1e-9
+
+    def test_updates_in_place(self):
+        x = np.zeros(3)
+        g = np.ones(3)
+        opt = Adam([x], [g], lr=0.1)
+        ref = x
+        opt.step()
+        assert ref is x  # object identity preserved (in-place update)
+        assert not np.allclose(x, 0.0)
+
+    def test_mismatched_params_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(2)], [np.zeros(2), np.zeros(2)])
+
+
+class TestClip:
+    def test_clip_reduces_norm(self):
+        g = [np.full(4, 10.0)]
+        total = clip_grad_norm(g, max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(g[0]) == pytest.approx(1.0)
+
+    def test_no_clip_below_threshold(self):
+        g = [np.array([0.1, 0.1])]
+        before = g[0].copy()
+        clip_grad_norm(g, max_norm=10.0)
+        assert np.allclose(g[0], before)
+
+    def test_zero_grad_safe(self):
+        g = [np.zeros(3)]
+        assert clip_grad_norm(g, 1.0) == 0.0

@@ -1,0 +1,120 @@
+"""Masked-softmax policy utilities (the DCG-BE context filter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.policy import (
+    categorical_entropy,
+    entropy_grad,
+    masked_log_softmax,
+    masked_softmax,
+    sample_categorical,
+    softmax_grad_from_logp_grad,
+)
+
+
+class TestMaskedSoftmax:
+    def test_unmasked_sums_to_one(self):
+        p = masked_softmax(np.array([1.0, 2.0, 3.0]))
+        assert p.sum() == pytest.approx(1.0)
+        assert p[2] > p[1] > p[0]
+
+    def test_mask_zeroes_invalid_actions(self):
+        p = masked_softmax(np.array([10.0, 1.0, 1.0]), np.array([0, 1, 1]))
+        assert p[0] == 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_all_masked_falls_back_to_uniform(self):
+        p = masked_softmax(np.array([1.0, 2.0]), np.array([0, 0]))
+        assert np.allclose(p, [0.5, 0.5])
+
+    def test_mask_matches_renormalized_probs(self):
+        # p̂ = p * c / Σ(p * c) — the paper's element-wise filter
+        logits = np.array([0.3, -1.0, 2.0, 0.0])
+        mask = np.array([1, 0, 1, 1])
+        full = masked_softmax(logits)
+        expected = full * mask
+        expected /= expected.sum()
+        assert np.allclose(masked_softmax(logits, mask), expected)
+
+    def test_large_logits_stable(self):
+        p = masked_softmax(np.array([1e9, 1e9 - 1.0]))
+        assert np.isfinite(p).all()
+        assert p.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_probabilities_valid(self, logits):
+        p = masked_softmax(np.array(logits))
+        assert (p >= 0).all()
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        logits = np.array([0.5, 1.5, -0.5])
+        assert np.allclose(
+            masked_log_softmax(logits), np.log(masked_softmax(logits))
+        )
+
+
+class TestSampling:
+    def test_deterministic_on_degenerate(self, rng):
+        assert sample_categorical(np.array([0.0, 1.0, 0.0]), rng) == 1
+
+    def test_respects_distribution(self, rng):
+        counts = np.zeros(2)
+        p = np.array([0.8, 0.2])
+        for _ in range(2000):
+            counts[sample_categorical(p, rng)] += 1
+        assert counts[0] / 2000 == pytest.approx(0.8, abs=0.05)
+
+
+class TestEntropy:
+    def test_uniform_maximises_entropy(self):
+        h_uniform = categorical_entropy(np.array([0.25] * 4))
+        h_skewed = categorical_entropy(np.array([0.97, 0.01, 0.01, 0.01]))
+        assert h_uniform == pytest.approx(np.log(4))
+        assert h_skewed < h_uniform
+
+    def test_degenerate_zero_entropy(self):
+        assert categorical_entropy(np.array([1.0, 0.0])) == 0.0
+
+    def test_entropy_grad_matches_numerical(self):
+        logits = np.array([0.1, 0.7, -0.3])
+        eps = 1e-6
+        analytic = entropy_grad(masked_softmax(logits))
+        for i in range(3):
+            z = logits.copy()
+            z[i] += eps
+            hi = categorical_entropy(masked_softmax(z))
+            z[i] -= 2 * eps
+            lo = categorical_entropy(masked_softmax(z))
+            assert analytic[i] == pytest.approx((hi - lo) / (2 * eps), abs=1e-4)
+
+
+class TestLogProbGrad:
+    def test_matches_numerical(self):
+        logits = np.array([0.2, -0.4, 1.1])
+        action = 2
+        eps = 1e-6
+        probs = masked_softmax(logits)
+        analytic = softmax_grad_from_logp_grad(probs, action, 1.0)
+        for i in range(3):
+            z = logits.copy()
+            z[i] += eps
+            hi = np.log(masked_softmax(z)[action])
+            z[i] -= 2 * eps
+            lo = np.log(masked_softmax(z)[action])
+            assert analytic[i] == pytest.approx((hi - lo) / (2 * eps), abs=1e-4)
+
+    def test_coefficient_scales(self):
+        probs = masked_softmax(np.array([0.0, 1.0]))
+        g1 = softmax_grad_from_logp_grad(probs, 0, 1.0)
+        g3 = softmax_grad_from_logp_grad(probs, 0, 3.0)
+        assert np.allclose(g3, 3 * g1)

@@ -1,0 +1,121 @@
+"""Unit and property tests for the ResourceVector model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.resources import (
+    COMPRESSIBLE_KINDS,
+    INCOMPRESSIBLE_KINDS,
+    ResourceKind,
+    ResourceVector,
+    ZERO,
+)
+
+dims = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def vectors():
+    return st.builds(ResourceVector, dims, dims, dims, dims)
+
+
+class TestKinds:
+    def test_cpu_and_bandwidth_are_compressible(self):
+        assert ResourceKind.CPU.compressible
+        assert ResourceKind.BANDWIDTH.compressible
+
+    def test_memory_and_disk_are_incompressible(self):
+        assert not ResourceKind.MEMORY.compressible
+        assert not ResourceKind.DISK.compressible
+
+    def test_kind_partition_is_complete(self):
+        assert COMPRESSIBLE_KINDS | INCOMPRESSIBLE_KINDS == frozenset(ResourceKind)
+        assert not COMPRESSIBLE_KINDS & INCOMPRESSIBLE_KINDS
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(0.5, 1.0, 1.5, 2.0)
+        assert (a + b - b).approx_equal(a)
+
+    def test_scalar_multiply(self):
+        a = ResourceVector(1, 2, 3, 4)
+        assert (a * 2).as_tuple() == (2, 4, 6, 8)
+        assert (2 * a).as_tuple() == (2, 4, 6, 8)
+
+    def test_negation(self):
+        a = ResourceVector(1, 2, 3, 4)
+        assert (-a).as_tuple() == (-1, -2, -3, -4)
+
+    def test_clamp_min(self):
+        a = ResourceVector(-1, 2, -3, 4)
+        assert a.clamp_min(0.0).as_tuple() == (0, 2, 0, 4)
+
+    def test_replace_single_dimension(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = a.replace(ResourceKind.MEMORY, 99.0)
+        assert b.memory == 99.0
+        assert b.cpu == 1.0 and b.bandwidth == 3.0 and b.disk == 4.0
+
+    @given(vectors(), vectors())
+    def test_add_commutes(self, a, b):
+        assert (a + b).approx_equal(b + a)
+
+    @given(vectors())
+    def test_zero_is_identity(self, a):
+        assert (a + ZERO).approx_equal(a)
+
+
+class TestPredicates:
+    def test_fits_in_exact_boundary(self):
+        a = ResourceVector(4, 8, 0, 0)
+        assert a.fits_in(ResourceVector(4, 8, 0, 0))
+
+    def test_fits_in_fails_on_any_dimension(self):
+        cap = ResourceVector(4, 8, 10, 10)
+        assert not ResourceVector(5, 1, 1, 1).fits_in(cap)
+        assert not ResourceVector(1, 9, 1, 1).fits_in(cap)
+        assert not ResourceVector(1, 1, 11, 1).fits_in(cap)
+        assert not ResourceVector(1, 1, 1, 11).fits_in(cap)
+
+    @given(vectors(), vectors())
+    def test_min_with_fits_in_both(self, a, b):
+        m = a.min_with(b)
+        assert m.fits_in(a) and m.fits_in(b)
+
+    @given(vectors(), vectors())
+    def test_max_with_dominates_both(self, a, b):
+        m = a.max_with(b)
+        assert a.fits_in(m) and b.fits_in(m)
+
+    def test_is_zero(self):
+        assert ZERO.is_zero()
+        assert not ResourceVector(cpu=0.1).is_zero()
+
+
+class TestSummaries:
+    def test_dominant_share_picks_max_dimension(self):
+        demand = ResourceVector(cpu=2, memory=1024)
+        cap = ResourceVector(cpu=4, memory=8192)
+        assert demand.dominant_share(cap) == pytest.approx(0.5)
+
+    def test_dominant_share_infinite_when_capacity_missing(self):
+        demand = ResourceVector(cpu=1)
+        cap = ResourceVector(memory=100)
+        assert math.isinf(demand.dominant_share(cap))
+
+    def test_units_within_eq2(self):
+        # Eq. 2: min(cpu_ava / r_c, mem_ava / r_m)
+        demand = ResourceVector(cpu=1.0, memory=1024.0)
+        cap = ResourceVector(cpu=4.0, memory=3 * 1024.0)
+        assert demand.units_within(cap) == 3
+
+    def test_units_within_zero_demand(self):
+        assert ZERO.units_within(ResourceVector(cpu=4, memory=8)) == 0
+
+    @given(vectors())
+    def test_units_within_self_at_least_one(self, a):
+        if a.cpu > 1e-6 and a.memory > 1e-6:
+            assert a.units_within(a) >= 1

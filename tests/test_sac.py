@@ -1,0 +1,99 @@
+"""Discrete SAC agent tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gnn import adjacency_from_edges
+from repro.nn.sac import SACAgent, SACConfig, SACTransition
+
+
+def tiny_sac(rng, **kw):
+    cfg = SACConfig(
+        hidden=(16, 8),
+        encoder_hidden=(8,),
+        batch_size=kw.pop("batch_size", 8),
+        train_interval=kw.pop("train_interval", 8),
+        buffer_size=kw.pop("buffer_size", 64),
+        **kw,
+    )
+    return SACAgent(4, rng, config=cfg)
+
+
+def ring(n):
+    return adjacency_from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def transition(rng, n=3, action=0, reward=1.0, terminal=False):
+    feats = rng.normal(size=(n, 4))
+    nxt = None if terminal else rng.normal(size=(n, 4))
+    return SACTransition(
+        features=feats,
+        adj=ring(n),
+        mask=None,
+        action=action,
+        reward=reward,
+        next_features=nxt,
+        next_adj=None if terminal else ring(n),
+        next_mask=None,
+    )
+
+
+class TestActing:
+    def test_action_in_range(self, rng):
+        agent = tiny_sac(rng)
+        for _ in range(5):
+            a = agent.act(rng.normal(size=(6, 4)), ring(6))
+            assert 0 <= a < 6
+
+    def test_mask_respected(self, rng):
+        agent = tiny_sac(rng)
+        mask = np.array([0, 1, 0], dtype=bool)
+        for _ in range(5):
+            assert agent.act(rng.normal(size=(3, 4)), ring(3), mask) == 1
+
+
+class TestLearning:
+    def test_training_fires_after_buffer_fills(self, rng):
+        agent = tiny_sac(rng, batch_size=4, train_interval=4)
+        fired = [agent.record(transition(rng)) for _ in range(8)]
+        assert any(fired)
+        assert agent.train_steps >= 1
+
+    def test_buffer_bounded(self, rng):
+        agent = tiny_sac(rng, buffer_size=16, batch_size=4, train_interval=1000)
+        for _ in range(40):
+            agent.record(transition(rng))
+        assert len(agent._buffer) == 16
+
+    def test_terminal_transition_target_is_reward(self, rng):
+        agent = tiny_sac(rng)
+        t = transition(rng, reward=2.5, terminal=True)
+        assert agent._soft_q_target(t) == pytest.approx(2.5)
+
+    def test_nonterminal_target_includes_bootstrap(self, rng):
+        agent = tiny_sac(rng, gamma=0.9)
+        t = transition(rng, reward=1.0)
+        target = agent._soft_q_target(t)
+        assert target != pytest.approx(1.0)
+
+    def test_polyak_moves_targets(self, rng):
+        agent = tiny_sac(rng, tau=0.5)
+        for p in agent.q1.net.params:
+            p += 1.0
+        before = [p.copy() for p in agent.q1_target.net.params]
+        agent._polyak_update()
+        moved = any(
+            not np.allclose(b, p)
+            for b, p in zip(before, agent.q1_target.net.params)
+        )
+        assert moved
+
+    def test_training_updates_parameters(self, rng):
+        agent = tiny_sac(rng, batch_size=4, train_interval=4)
+        before = [p.copy() for p in agent.optimizer.params]
+        for _ in range(8):
+            agent.record(transition(rng))
+        assert any(
+            not np.allclose(b, p)
+            for b, p in zip(before, agent.optimizer.params)
+        )

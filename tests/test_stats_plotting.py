@@ -1,0 +1,110 @@
+"""Trace statistics and ASCII plotting tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.plotting import histogram, sparkline, timeline_chart
+from repro.workloads.spec import ServiceKind
+from repro.workloads.stats import arrival_series, summarize_trace
+from repro.workloads.trace import SyntheticTrace, TraceConfig, TraceRecord
+
+
+def record(t, cluster=0, service="lc-cloud-render", kind=ServiceKind.LC, cpu=1.0):
+    return TraceRecord(
+        time_ms=t, cluster_id=cluster, service=service, kind=kind,
+        cpu=cpu, memory=100.0,
+    )
+
+
+class TestSummaries:
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.n_records == 0
+        assert summary.cluster_share == {}
+
+    def test_basic_counts(self):
+        records = [
+            record(0.0), record(100.0),
+            record(200.0, kind=ServiceKind.BE, service="be-analytics"),
+        ]
+        summary = summarize_trace(records)
+        assert summary.n_records == 3
+        assert summary.lc_fraction == pytest.approx(2 / 3)
+        assert summary.service_mix["lc-cloud-render"] == 2
+
+    def test_cluster_share_and_skew(self):
+        records = [record(0.0, cluster=0)] * 3 + [record(1.0, cluster=1)]
+        summary = summarize_trace(records)
+        assert summary.cluster_share[0] == pytest.approx(0.75)
+        assert summary.skew_ratio() == pytest.approx(3.0)
+
+    def test_mean_cpu_by_kind(self):
+        records = [
+            record(0.0, cpu=2.0),
+            record(1.0, cpu=4.0),
+            record(2.0, kind=ServiceKind.BE, service="be-analytics", cpu=1.0),
+        ]
+        summary = summarize_trace(records)
+        assert summary.mean_cpu["LC"] == pytest.approx(3.0)
+        assert summary.mean_cpu["BE"] == pytest.approx(1.0)
+
+    def test_arrival_series_buckets(self):
+        records = [record(t) for t in (0.0, 100.0, 1_500.0)]
+        series = arrival_series(records, bucket_ms=1_000.0)
+        assert list(series) == [2.0, 1.0]
+
+    def test_arrival_series_kind_filter(self):
+        records = [
+            record(0.0),
+            record(10.0, kind=ServiceKind.BE, service="be-analytics"),
+        ]
+        lc_only = arrival_series(records, kind=ServiceKind.LC)
+        assert lc_only.sum() == 1.0
+
+    def test_synthetic_trace_has_paper_marginals(self):
+        """The generator's output shows the skew/burstiness the paper needs."""
+        trace = SyntheticTrace(
+            TraceConfig(n_clusters=4, duration_ms=30_000.0, seed=3)
+        ).generate()
+        summary = summarize_trace(trace)
+        assert 0.5 < summary.lc_fraction < 0.95   # LC-dominant mix
+        assert summary.peak_to_mean > 1.3          # bursty arrivals
+        assert summary.skew_ratio() > 1.2          # geographic skew
+        assert len(summary.service_mix) == 10      # all ten types appear
+
+
+class TestPlotting:
+    def test_sparkline_length_and_range(self):
+        s = sparkline([0, 1, 2, 3], width=10)
+        assert len(s) == 4
+        assert s[0] == " " and s[-1] == "█"
+
+    def test_sparkline_resamples_long_series(self):
+        s = sparkline(list(range(1000)), width=50)
+        assert len(s) == 50
+
+    def test_sparkline_flat_series(self):
+        assert set(sparkline([5, 5, 5])) == {"▄"}
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_timeline_chart_shared_scale(self):
+        chart = timeline_chart({"a": [0, 1], "big": [0, 10]}, width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        # shared scale: series "a" peaks far below series "big"
+        assert "█" in lines[1] and "█" not in lines[0]
+
+    def test_timeline_chart_empty(self):
+        assert timeline_chart({}) == ""
+
+    def test_histogram_bins_sum_to_count(self):
+        values = list(np.linspace(0, 10, 57))
+        out = histogram(values, bins=5)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in out.splitlines()]
+        assert sum(counts) == 57
+
+    def test_histogram_degenerate(self):
+        assert "no data" in histogram([])
+        assert "3" in histogram([1.0, 1.0, 1.0])

@@ -1,0 +1,84 @@
+"""Invariant-checker tests: clean runs pass, corrupted state is caught."""
+
+import pytest
+
+from repro import TangoConfig, TangoSystem
+from repro.cluster.resources import ResourceVector
+from repro.cluster.topology import TopologyConfig
+from repro.sim.runner import RunnerConfig
+from repro.sim.validation import InvariantChecker, InvariantViolation
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+
+def run_validated(manager_policy_kwargs=None):
+    kwargs = manager_policy_kwargs or {}
+    config = TangoConfig.tango(
+        topology=TopologyConfig(n_clusters=3, workers_per_cluster=2, seed=1),
+        runner=RunnerConfig(duration_ms=6_000.0, validate=True),
+        **kwargs,
+    )
+    trace = SyntheticTrace(
+        TraceConfig(n_clusters=3, duration_ms=6_000.0, seed=1,
+                    lc_peak_rps=15.0, be_peak_rps=6.0)
+    ).generate()
+    system = TangoSystem(config)
+    metrics = system.run(trace)
+    return system, metrics
+
+
+class TestCleanRuns:
+    def test_tango_passes_every_tick(self):
+        system, _ = run_validated()
+        assert system.last_runner.checker.checks_run > 100
+
+    def test_all_stacks_pass(self):
+        for factory in (TangoConfig.k8s_native, TangoConfig.ceres):
+            config = factory(
+                topology=TopologyConfig(n_clusters=2, workers_per_cluster=2,
+                                        seed=0),
+                runner=RunnerConfig(duration_ms=4_000.0, validate=True),
+            )
+            trace = SyntheticTrace(
+                TraceConfig(n_clusters=2, duration_ms=4_000.0, seed=0)
+            ).generate()
+            TangoSystem(config).run(trace)  # raises on violation
+
+    def test_validated_run_with_failures(self):
+        from repro.sim.failures import FailureConfig
+
+        config = TangoConfig.tango(
+            topology=TopologyConfig(n_clusters=2, workers_per_cluster=2, seed=1),
+            runner=RunnerConfig(
+                duration_ms=5_000.0,
+                validate=True,
+                failures=FailureConfig(node_mtbf_ms=1_000.0,
+                                       node_downtime_ms=1_000.0, seed=3),
+            ),
+        )
+        trace = SyntheticTrace(
+            TraceConfig(n_clusters=2, duration_ms=5_000.0, seed=1)
+        ).generate()
+        TangoSystem(config).run(trace)  # raises on violation
+
+
+class TestDetection:
+    def make_system(self):
+        system, _ = run_validated()
+        return system
+
+    def test_detects_unbacked_allocation(self):
+        system = self.make_system()
+        worker = system.system.clusters[0].workers[0]
+        checker = InvariantChecker(system.system)
+        worker._allocated = worker._allocated + ResourceVector(cpu=1.0)
+        # either the conservation or the backing invariant must trip
+        with pytest.raises(InvariantViolation):
+            checker.check(0.0, system.last_runner.collector.metrics)
+
+    def test_detects_metric_inconsistency(self):
+        system = self.make_system()
+        checker = InvariantChecker(system.system)
+        metrics = system.last_runner.collector.metrics
+        metrics.lc_satisfied = metrics.lc_completed + 10
+        with pytest.raises(InvariantViolation, match="satisfied"):
+            checker.check(0.0, metrics)

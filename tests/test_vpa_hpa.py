@@ -1,0 +1,145 @@
+"""Native VPA (delete-and-rebuild) and HPA control-loop tests."""
+
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.kube.hpa import HorizontalPodAutoscaler
+from repro.kube.kubelet import CONTAINER_COLD_START_MS
+from repro.kube.objects import ContainerSpec, Pod, PodPhase, PodSpec
+from repro.kube.vpa import NativeVPA
+
+rv = ResourceVector.of
+
+
+def pod_with(cpu=1.0, mem=512.0):
+    return Pod(
+        name="app",
+        spec=PodSpec(
+            containers=[
+                ContainerSpec(
+                    name="main",
+                    requests=rv(cpu=cpu, memory=mem),
+                    limits=rv(cpu=cpu, memory=mem),
+                )
+            ],
+            node_name="n0",
+            service_name="svc",
+        ),
+    )
+
+
+class TestRecommender:
+    def test_recommend_tracks_percentile_with_margin(self):
+        vpa = NativeVPA()
+        for i in range(20):
+            vpa.observe("p", rv(cpu=1.0, memory=1000.0))
+        rec = vpa.recommend("p")
+        assert rec.target.cpu == pytest.approx(1.0 * NativeVPA.MARGIN)
+        assert rec.target.memory == pytest.approx(1000.0 * NativeVPA.MARGIN)
+
+    def test_no_recommendation_without_history(self):
+        assert NativeVPA().recommend("ghost") is None
+
+    def test_history_bounded(self):
+        vpa = NativeVPA(history_len=8)
+        for i in range(20):
+            vpa.observe("p", rv(cpu=float(i)))
+        assert len(vpa._usage["p"]) == 8
+
+    def test_needs_resize_only_outside_band(self):
+        vpa = NativeVPA()
+        for _ in range(10):
+            vpa.observe("p", rv(cpu=1.0, memory=1000.0))
+        rec = vpa.recommend("p")
+        inside = pod_with(cpu=rec.target.cpu, mem=rec.target.memory)
+        assert not vpa.needs_resize(inside, rec)
+        starved = pod_with(cpu=rec.lower_bound.cpu * 0.5, mem=rec.target.memory)
+        assert vpa.needs_resize(starved, rec)
+
+
+class TestDeleteAndRebuild:
+    def test_resize_interrupts_and_costs_cold_start(self):
+        vpa = NativeVPA()
+        pod = pod_with(cpu=1.0)
+        outcome = vpa.resize(pod, rv(cpu=2.0, memory=1024.0))
+        assert outcome.interrupted
+        assert outcome.latency_ms >= CONTAINER_COLD_START_MS
+        assert pod.phase is PodPhase.FAILED
+        assert pod.deleted
+
+    def test_new_pod_carries_target_requests(self):
+        vpa = NativeVPA()
+        outcome = vpa.resize(pod_with(cpu=1.0, mem=512.0), rv(cpu=2.0, memory=1024.0))
+        total = outcome.new_pod.spec.total_requests()
+        assert total.cpu == pytest.approx(2.0)
+        assert total.memory == pytest.approx(1024.0)
+
+    def test_multi_container_prorata_split(self):
+        pod = Pod(
+            name="app",
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec("a", requests=rv(cpu=1.0, memory=100)),
+                    ContainerSpec("b", requests=rv(cpu=3.0, memory=300)),
+                ]
+            ),
+        )
+        outcome = NativeVPA().resize(pod, rv(cpu=8.0, memory=800))
+        reqs = [c.requests for c in outcome.new_pod.spec.containers]
+        assert reqs[0].cpu == pytest.approx(2.0)
+        assert reqs[1].cpu == pytest.approx(6.0)
+
+    def test_downtime_accumulates(self):
+        vpa = NativeVPA()
+        vpa.resize(pod_with(), rv(cpu=2.0, memory=512))
+        vpa.resize(pod_with(), rv(cpu=3.0, memory=512))
+        assert vpa.resize_count == 2
+        assert vpa.total_downtime_ms >= 2 * CONTAINER_COLD_START_MS
+
+
+class TestHPA:
+    def test_scales_up_proportionally(self):
+        hpa = HorizontalPodAutoscaler(target_utilization=0.5, max_replicas=20)
+        decision = hpa.evaluate(0.0, current_replicas=4, observed_utilization=1.0)
+        assert decision.desired_replicas == 8
+
+    def test_tolerance_band_keeps_steady(self):
+        hpa = HorizontalPodAutoscaler(target_utilization=0.5, tolerance=0.2)
+        decision = hpa.evaluate(0.0, 4, 0.55)
+        assert decision.desired_replicas == 4
+
+    def test_sync_period_gates_evaluations(self):
+        hpa = HorizontalPodAutoscaler(sync_period_ms=15_000)
+        assert hpa.evaluate(0.0, 2, 1.0) is not None
+        assert hpa.evaluate(1_000.0, 2, 1.0) is None
+        assert hpa.evaluate(16_000.0, 2, 1.0) is not None
+
+    def test_scale_down_stabilization_window(self):
+        hpa = HorizontalPodAutoscaler(
+            target_utilization=0.5,
+            sync_period_ms=0.0,
+            scale_down_stabilization_ms=100_000.0,
+            max_replicas=20,
+        )
+        d1 = hpa.evaluate(0.0, 4, 1.0)  # wants 8
+        assert d1.desired_replicas == 8
+        # load drops immediately — stabilisation must hold at the recent max
+        d2 = hpa.evaluate(1_000.0, 8, 0.1)
+        assert d2.desired_replicas == 8
+
+    def test_bounds_enforced(self):
+        hpa = HorizontalPodAutoscaler(min_replicas=2, max_replicas=5,
+                                      target_utilization=0.5)
+        up = hpa.evaluate(0.0, 5, 1.0)
+        assert up.desired_replicas == 5
+        hpa2 = HorizontalPodAutoscaler(min_replicas=2, max_replicas=5,
+                                       target_utilization=0.5,
+                                       scale_down_stabilization_ms=0.0)
+        down = hpa2.evaluate(0.0, 2, 0.0)
+        assert down.desired_replicas == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(target_utilization=0.0)
+        with pytest.raises(ValueError):
+            HorizontalPodAutoscaler(min_replicas=5, max_replicas=2)
