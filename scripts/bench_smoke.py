@@ -1,0 +1,75 @@
+"""Benchmark smoke gate: fail on a >20 % ticks/sec regression.
+
+Runs the standard workload (``repro.perf.bench``), compares against the
+checked-in ``BENCH_PR1.json``, and exits non-zero when throughput dropped
+more than the tolerance.  On success the JSON is rewritten in place with
+the fresh "after" measurement (the recorded "before" baseline is kept).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--tolerance 0.2] [--dry-run]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.perf.bench import run_bench, write_bench_json  # noqa: E402
+
+BENCH_PATH = os.path.normpath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR1.json")
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="max allowed fractional ticks/sec drop vs the recorded run",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="check only; do not rewrite BENCH_PR1.json",
+    )
+    args = parser.parse_args()
+
+    recorded = None
+    if os.path.exists(BENCH_PATH):
+        with open(BENCH_PATH) as fh:
+            recorded = json.load(fh)
+
+    result = run_bench(profile=True)
+    tps = result["ticks_per_sec"]
+    print(f"measured: {result['wall_s']:.2f}s wall, {tps:.1f} ticks/sec")
+
+    status = 0
+    before = None
+    if recorded is not None:
+        before = recorded.get("before")
+        ref = (recorded.get("after") or {}).get("ticks_per_sec")
+        if ref:
+            drop = (ref - tps) / ref
+            print(f"recorded: {ref:.1f} ticks/sec -> drop {100 * drop:.1f}%")
+            if drop > args.tolerance:
+                print(
+                    f"FAIL: throughput regressed more than "
+                    f"{100 * args.tolerance:.0f}%",
+                    file=sys.stderr,
+                )
+                status = 1
+
+    if status == 0 and not args.dry_run:
+        write_bench_json(result, BENCH_PATH, before=before)
+        print(f"updated {BENCH_PATH}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,11 @@ class _PartitionState:
 class StaticPartitionManager:
     """Fixed LC/BE node partitions with reference-sized allocations."""
 
+    #: :meth:`tick` is a no-op, so the runner may skip idle nodes entirely.
+    #: (CeresManager deliberately lacks this flag: its tick stamps the
+    #: control-loop clock even on idle nodes.)
+    idle_tick_noop = True
+
     def __init__(self, lc_share: float = 0.5) -> None:
         if not 0.0 < lc_share < 1.0:
             raise ValueError("lc_share must be in (0, 1)")

@@ -20,6 +20,13 @@ Commands
 
         python -m repro experiment fig9
         python -m repro experiment dvpa
+
+``bench``
+    Run the standard 10-cluster benchmark workload with per-stage
+    profiling and print ticks/sec plus the stage breakdown::
+
+        python -m repro bench
+        python -m repro bench --out BENCH_PR1.json
 """
 
 from __future__ import annotations
@@ -90,6 +97,19 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--scale", default="small", help="experiment scale preset"
     )
+
+    bench = sub.add_parser(
+        "bench", help="run the standard benchmark workload with profiling"
+    )
+    bench.add_argument(
+        "--duration", type=float, default=None,
+        help="override benchmark duration (seconds)",
+    )
+    bench.add_argument(
+        "--clusters", type=int, default=None,
+        help="override benchmark cluster count",
+    )
+    bench.add_argument("--out", help="write the benchmark JSON here")
     return parser
 
 
@@ -175,6 +195,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_bench, write_bench_json
+
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration_ms"] = args.duration * 1000.0
+    if args.clusters is not None:
+        overrides["clusters"] = args.clusters
+    result = run_bench(overrides or None, profile=True)
+    wl = result["workload"]
+    print(
+        f"{wl['stack']} | {wl['clusters']} clusters / {wl['n_workers']} "
+        f"workers | {result['ticks']} ticks in {result['wall_s']:.2f}s "
+        f"({result['ticks_per_sec']:.1f} ticks/sec)"
+    )
+    total = sum(result.get("stage_ms", {}).values())
+    for stage, ms in sorted(
+        result.get("stage_ms", {}).items(), key=lambda kv: -kv[1]
+    ):
+        share = 100.0 * ms / total if total else 0.0
+        print(f"  {stage:10s} {ms:10.1f} ms  {share:5.1f}%")
+    if result.get("solver"):
+        print(f"  solver: {result['solver']}")
+    if args.out:
+        write_bench_json(result, args.out)
+        print(f"\nbenchmark written to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -183,6 +232,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(args.command)
 
 

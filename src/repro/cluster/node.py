@@ -95,6 +95,10 @@ class WorkerNode:
         self._be_queue: Deque[ServiceRequest] = deque()
         self.running: Dict[int, RunningRequest] = {}
         self._allocated = ZERO
+        #: set whenever queues, running set, or allocations change; the
+        #: state storage clears it after re-snapshotting the node, so clean
+        #: nodes reuse their cached snapshot across refreshes.
+        self.snapshot_dirty = True
         # counters
         self.completed_count = 0
         self.evicted_count = 0
@@ -108,7 +112,15 @@ class WorkerNode:
         return self._allocated
 
     def free(self) -> ResourceVector:
-        return (self.capacity - self._allocated).clamp_min(0.0)
+        # fused (capacity - allocated).clamp_min(0.0): one vector allocation
+        # on a path hit several times per node per tick.
+        cap, used = self.capacity, self._allocated
+        return ResourceVector(
+            max(cap.cpu - used.cpu, 0.0),
+            max(cap.memory - used.memory, 0.0),
+            max(cap.bandwidth - used.bandwidth, 0.0),
+            max(cap.disk - used.disk, 0.0),
+        )
 
     def utilization(self) -> float:
         """Mean of CPU and memory allocated fractions (the paper's metric)."""
@@ -148,9 +160,11 @@ class WorkerNode:
                 f"capacity {self.capacity.as_tuple()}"
             )
         self._allocated = new_total
+        self.snapshot_dirty = True
 
     def reclaim(self, amount: ResourceVector) -> None:
         self._allocated = (self._allocated - amount).clamp_min(0.0)
+        self.snapshot_dirty = True
 
     def adjust_running_allocation(
         self, rr: RunningRequest, new_allocation: ResourceVector
@@ -164,6 +178,7 @@ class WorkerNode:
             raise ValueError(f"{self.name}: adjustment exceeds capacity")
         self._allocated = new_total.clamp_min(0.0)
         rr.allocation = new_allocation
+        self.snapshot_dirty = True
 
     # ------------------------------------------------------------------ #
     # queueing
@@ -174,6 +189,12 @@ class WorkerNode:
         request.target_node = self.name
         request.target_cluster = self.cluster_id
         (self._lc_queue if request.is_lc else self._be_queue).append(request)
+        self.snapshot_dirty = True
+
+    @property
+    def is_active(self) -> bool:
+        """True when the node holds any queued or running work."""
+        return bool(self.running or self._lc_queue or self._be_queue)
 
     def queue_lengths(self) -> Tuple[int, int]:
         return len(self._lc_queue), len(self._be_queue)
@@ -208,13 +229,17 @@ class WorkerNode:
             raise RuntimeError(f"{self.name}: no resource manager attached")
 
         evicted: List[ServiceRequest] = []
-        abandoned = self._drop_impatient(now_ms)
-        self._admit_from_queue(self._lc_queue, now_ms, evicted)
-        self._admit_from_queue(self._be_queue, now_ms, evicted)
+        abandoned = self._drop_impatient(now_ms) if self._lc_queue else []
+        if self._lc_queue:
+            self._admit_from_queue(self._lc_queue, now_ms, evicted)
+        if self._be_queue:
+            self._admit_from_queue(self._be_queue, now_ms, evicted)
 
         self.manager.tick(self, now_ms)
 
         completed: List[ServiceRequest] = []
+        if not self.running:
+            return completed, evicted, abandoned
         contention = self.cpu_utilization()
         for rid in list(self.running):
             rr = self.running[rid]
@@ -275,6 +300,13 @@ class WorkerNode:
         self.evicted_count += 1
 
     def _drop_impatient(self, now_ms: float) -> List[ServiceRequest]:
+        # fast path: nothing expired (the common case every tick) — scan
+        # without rebuilding the deque.
+        for request in self._lc_queue:
+            if now_ms > request.patience_deadline_ms():
+                break
+        else:
+            return []
         dropped: List[ServiceRequest] = []
         kept: Deque[ServiceRequest] = deque()
         while self._lc_queue:
@@ -285,6 +317,7 @@ class WorkerNode:
             else:
                 kept.append(request)
         self._lc_queue = kept
+        self.snapshot_dirty = True
         return dropped
 
     # ------------------------------------------------------------------ #

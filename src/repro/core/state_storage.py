@@ -43,7 +43,13 @@ class NodeSnapshot:
 
 @dataclass
 class SystemSnapshot:
-    """All node snapshots plus inter-cluster delays at one refresh instant."""
+    """All node snapshots plus inter-cluster delays at one refresh instant.
+
+    Construction builds a name index and a per-cluster index so scheduler
+    candidate loops stay O(candidates) instead of O(system): :meth:`node`
+    is a dict lookup and :meth:`nodes_of` concatenates pre-grouped cluster
+    lists.  ``nodes`` must not be mutated after construction.
+    """
 
     time_ms: float
     nodes: List[NodeSnapshot]
@@ -51,17 +57,38 @@ class SystemSnapshot:
     delay_ms: List[List[float]]
     central_cluster_id: int
 
+    def __post_init__(self) -> None:
+        self._by_name: Dict[str, NodeSnapshot] = {n.name: n for n in self.nodes}
+        by_cluster: Dict[int, List[NodeSnapshot]] = {}
+        for n in self.nodes:
+            by_cluster.setdefault(n.cluster_id, []).append(n)
+        self._by_cluster = by_cluster
+        # memoised nodes_of results; every master asks for the same cluster
+        # neighbourhood each tick, and callers treat the result as read-only,
+        # so the same list object can be served for the snapshot's lifetime.
+        self._nodes_of_cache: Dict[tuple, List[NodeSnapshot]] = {}
+
     def nodes_of(self, cluster_ids: Optional[List[int]] = None) -> List[NodeSnapshot]:
         if cluster_ids is None:
             return list(self.nodes)
-        allowed = set(cluster_ids)
-        return [n for n in self.nodes if n.cluster_id in allowed]
+        # sorted unique ids reproduce the global node order (the nodes list
+        # is grouped by ascending cluster), matching the seed's filter scan.
+        key = tuple(sorted(set(cluster_ids)))
+        cached = self._nodes_of_cache.get(key)
+        if cached is None:
+            cached = []
+            for cid in key:
+                members = self._by_cluster.get(cid)
+                if members:
+                    cached.extend(members)
+            self._nodes_of_cache[key] = cached
+        return cached
 
     def node(self, name: str) -> NodeSnapshot:
-        for n in self.nodes:
-            if n.name == name:
-                return n
-        raise KeyError(name)
+        found = self._by_name.get(name)
+        if found is None:
+            raise KeyError(name)
+        return found
 
 
 class StateStorage:
@@ -86,6 +113,13 @@ class StateStorage:
         self.node_filter = node_filter
         self._snapshot: Optional[SystemSnapshot] = None
         self._last_refresh_ms: float = -1e18
+        #: per-worker NodeSnapshot reuse: a worker whose runtime state did
+        #: not change since its last snapshot (``snapshot_dirty`` unset)
+        #: serves the cached frozen snapshot instead of being re-measured.
+        self._node_cache: Dict[str, NodeSnapshot] = {}
+        #: inter-cluster delays are pure geometry — computed once, not per
+        #: refresh (invalidated only if the cluster count changes).
+        self._delay_cache: Optional[List[List[float]]] = None
 
     def refresh(self, now_ms: float, *, force: bool = False) -> SystemSnapshot:
         if (
@@ -96,45 +130,54 @@ class StateStorage:
             return self._snapshot
         self._last_refresh_ms = now_ms
         nodes: List[NodeSnapshot] = []
+        cache = self._node_cache
         for worker in self.system.all_workers():
             if self.node_filter is not None and not self.node_filter(
                 worker.name, worker.cluster_id
             ):
                 continue
-            free = worker.free()
-            lc_q, be_q = worker.queue_lengths()
-            q_cpu, q_mem = worker.queued_be_demand()
-            if self.detector is not None and self.specs:
-                slack = self.detector.node_min_slack(worker.name, self.specs)
-            else:
-                slack = 1.0
-            nodes.append(
-                NodeSnapshot(
-                    name=worker.name,
-                    cluster_id=worker.cluster_id,
-                    cpu_total=worker.capacity.cpu,
-                    cpu_available=free.cpu,
-                    mem_total=worker.capacity.memory,
-                    mem_available=free.memory,
-                    lc_queue=lc_q,
-                    be_queue=be_q,
-                    running=len(worker.running),
-                    min_slack=slack,
-                    be_queue_cpu=q_cpu,
-                    be_queue_mem=q_mem,
-                )
-            )
+            snap = cache.get(worker.name)
+            if snap is None or getattr(worker, "snapshot_dirty", True):
+                snap = self._snapshot_worker(worker)
+                cache[worker.name] = snap
+                worker.snapshot_dirty = False
+            nodes.append(snap)
         n = self.system.n_clusters
-        delays = [
-            [self.system.one_way_delay_ms(a, b) for b in range(n)] for a in range(n)
-        ]
+        if self._delay_cache is None or len(self._delay_cache) != n:
+            self._delay_cache = [
+                [self.system.one_way_delay_ms(a, b) for b in range(n)]
+                for a in range(n)
+            ]
         self._snapshot = SystemSnapshot(
             time_ms=now_ms,
             nodes=nodes,
-            delay_ms=delays,
+            delay_ms=self._delay_cache,
             central_cluster_id=self.system.central_cluster_id,
         )
         return self._snapshot
+
+    def _snapshot_worker(self, worker) -> NodeSnapshot:
+        free = worker.free()
+        lc_q, be_q = worker.queue_lengths()
+        q_cpu, q_mem = worker.queued_be_demand()
+        if self.detector is not None and self.specs:
+            slack = self.detector.node_min_slack(worker.name, self.specs)
+        else:
+            slack = 1.0
+        return NodeSnapshot(
+            name=worker.name,
+            cluster_id=worker.cluster_id,
+            cpu_total=worker.capacity.cpu,
+            cpu_available=free.cpu,
+            mem_total=worker.capacity.memory,
+            mem_available=free.memory,
+            lc_queue=lc_q,
+            be_queue=be_q,
+            running=len(worker.running),
+            min_slack=slack,
+            be_queue_cpu=q_cpu,
+            be_queue_mem=q_mem,
+        )
 
     @property
     def current(self) -> Optional[SystemSnapshot]:

@@ -11,7 +11,7 @@ how multi-source multi-sink transportation problems are solved.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .mcmf import MinCostMaxFlow, FlowResult
 
@@ -69,6 +69,8 @@ def solve_transport(
     graph: SupplyDemandGraph,
     *,
     local_processing: bool = True,
+    arena: Optional[MinCostMaxFlow] = None,
+    reuse_potentials: bool = False,
 ) -> AssignmentResult:
     """Route supply to demand at minimum total transmission delay.
 
@@ -77,31 +79,52 @@ def solve_transport(
     is true, a node that both holds pending requests and has capacity may
     process its own requests at zero delay (the common case for a
     master+worker edge-cloud).
+
+    ``arena`` reuses a caller-held :class:`MinCostMaxFlow` instance (its
+    network is rebuilt in place), avoiding per-call solver allocation on the
+    dispatch hot path.  ``reuse_potentials`` is forwarded to the solver; see
+    :meth:`MinCostMaxFlow.solve` for why it defaults to off.
     """
     n = graph.n_nodes
     if n == 0:
         return AssignmentResult({}, {}, 0, 0.0)
     source = n
     sink = n + 1
-    net = MinCostMaxFlow(n + 2)
+    if arena is None:
+        net = MinCostMaxFlow(n + 2)
+    else:
+        net = arena
+        net.rebuild(n + 2)
 
+    # Stage all arcs and hand them to the solver in one bulk call (same
+    # order, hence bit-identical arrays, as per-arc add_edge calls).
     supply_edge: Dict[int, int] = {}
     demand_edge: Dict[int, int] = {}
+    staged: List[Tuple[int, int, int, int]] = []
+    idx = 0
     for i, s in enumerate(graph.supplies):
         if s > 0:
-            supply_edge[i] = net.add_edge(source, i, s, 0)
+            supply_edge[i] = idx
+            staged.append((source, i, s, 0))
+            idx += 1
         elif s < 0:
-            demand_edge[i] = net.add_edge(i, sink, -s, 0)
+            demand_edge[i] = idx
+            staged.append((i, sink, -s, 0))
+            idx += 1
 
     transit_edges: List[Tuple[int, Tuple[int, int]]] = []
     for src, dst, delay_ms, capacity in graph.edges:
         if capacity <= 0:
             continue
         cost = max(0, int(round(delay_ms * COST_SCALE)))
-        idx = net.add_edge(src, dst, int(capacity), cost)
         transit_edges.append((idx, (src, dst)))
+        staged.append((src, dst, int(capacity), cost))
+        idx += 1
+    net.add_edges(staged)
 
-    result: FlowResult = net.solve(source, sink)
+    result: FlowResult = net.solve(
+        source, sink, reuse_potentials=reuse_potentials
+    )
 
     routed: Dict[Tuple[int, int], int] = {}
     for idx, key in transit_edges:

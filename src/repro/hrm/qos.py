@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import defaultdict, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +43,13 @@ class QoSDetector:
         #: windows (the detector would otherwise flap between ticks).
         self.min_keep = min_keep
         self._samples: Dict[Tuple[str, str], Deque[_Sample]] = defaultdict(deque)
+        #: node → services it has samples for, so per-node queries do not
+        #: scan every (node, service) window in the system.
+        self._node_services: Dict[str, List[str]] = {}
+        #: memoised tail percentiles, invalidated when a window changes —
+        #: the state storage queries every (node, service) each refresh,
+        #: while only the nodes that completed work have new samples.
+        self._tail_cache: Dict[Tuple[str, str], Dict[float, float]] = {}
 
     def observe(
         self,
@@ -52,9 +59,12 @@ class QoSDetector:
         latency_ms: float,
     ) -> None:
         key = (node, service)
+        if key not in self._samples:
+            self._node_services.setdefault(node, []).append(service)
         window = self._samples[key]
         window.append(_Sample(completed_ms, latency_ms))
         self._expire(window, completed_ms)
+        self._tail_cache.pop(key, None)
 
     def _expire(self, window: Deque[_Sample], now_ms: float) -> None:
         while (
@@ -69,11 +79,21 @@ class QoSDetector:
     def tail_latency_ms(
         self, node: str, service: str, percentile: float = 95.0
     ) -> Optional[float]:
-        window = self._samples.get((node, service))
+        key = (node, service)
+        window = self._samples.get(key)
         if not window:
             return None
+        cached = self._tail_cache.get(key)
+        if cached is not None:
+            value = cached.get(percentile)
+            if value is not None:
+                return value
+        else:
+            cached = self._tail_cache[key] = {}
         values = [s.latency_ms for s in window]
-        return float(np.percentile(values, percentile))
+        value = float(np.percentile(values, percentile))
+        cached[percentile] = value
+        return value
 
     def slack_score(
         self, node: str, service: str, spec: ServiceSpec
@@ -93,13 +113,11 @@ class QoSDetector:
     def node_min_slack(self, node: str, specs: Dict[str, ServiceSpec]) -> float:
         """Worst slack over LC services on a node (DCG-BE state feature)."""
         scores = []
-        for (n, service), _ in self._samples.items():
-            if n != node:
-                continue
+        for service in self._node_services.get(node, ()):
             spec = specs.get(service)
             if spec is None or not spec.is_lc:
                 continue
-            s = self.slack_score(n, service, spec)
+            s = self.slack_score(node, service, spec)
             if s is not None:
                 scores.append(s)
         return min(scores) if scores else 1.0

@@ -74,6 +74,9 @@ class ReassuranceMechanism:
         self._min_resources: Dict[Tuple[str, str], ResourceVector] = {}
         self._last_run_ms: float = -1e18
         self.adjustments = {LEVEL_POOR: 0, LEVEL_EXCELLENT: 0, LEVEL_STABLE: 0}
+        #: bumped on every minima change so consumers (DSS-LC) can cache
+        #: derived per-node values between adjustment passes.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     # state access
@@ -132,8 +135,10 @@ class ReassuranceMechanism:
         self._min_resources[(node, spec.name)] = scaled.max_with(floor).min_with(
             ceiling
         )
+        self.version += 1
 
     def reset(self, node: Optional[str] = None) -> None:
+        self.version += 1
         if node is None:
             self._min_resources.clear()
         else:

@@ -56,6 +56,10 @@ class HRMManager:
     mechanism).
     """
 
+    #: :meth:`tick` has no effect on a node with no queued or running work
+    #: (BE expansion needs running BE), so the runner may skip idle nodes.
+    idle_tick_noop = True
+
     def __init__(
         self,
         detector: QoSDetector,

@@ -177,24 +177,115 @@ class GraphSAGEEncoder(GraphEncoder):
         if sample_size < 1:
             raise ValueError("sample_size must be >= 1")
         self.sample_size = sample_size
+        #: id(adj) -> sampling plan.  Each plan pins its adjacency list so
+        #: ``id()`` reuse cannot alias entries; the topology must not be
+        #: mutated in place between encode calls (degree changes are
+        #: detected, same-degree rewires are not).
+        self._plan_cache: dict = {}
         super().__init__(in_features, hidden, rng)
+
+    def _sampling_plan(self, adj: List[List[int]]) -> dict:
+        """Precompute everything about ``adj`` that sampling reuses.
+
+        * ``template`` — the aggregation matrix with every row of degree
+          ≤ p already filled (those rows never change between draws);
+        * ``sampled`` — the ``(row, neighbours, degree)`` triples that do
+          need a fresh sample each pass;
+        * ``bounds`` — the exclusive upper bounds of every uniform draw
+          `choice(d, size=p, replace=False)` makes, concatenated across
+          sampled rows: Floyd's algorithm draws ``integers(0, j+1)`` for
+          ``j = d-p .. d-1``, then the output shuffle draws
+          ``integers(0, i+1)`` for ``i = p-1 .. 1``.
+        """
+        key = id(adj)
+        plan = self._plan_cache.get(key)
+        if plan is not None and plan["adj"] is adj:
+            if plan["degrees"] == [len(x) for x in adj]:
+                return plan
+        n = len(adj)
+        p = self.sample_size
+        template = np.zeros((n, n))
+        rows: List[int] = []
+        degrees_sampled: List[int] = []
+        neigh_rows: List[List[int]] = []
+        bounds: List[int] = []
+        max_d = 0
+        for i, neigh in enumerate(adj):
+            d = len(neigh)
+            if d > p:
+                rows.append(i)
+                degrees_sampled.append(d)
+                neigh_rows.append(neigh)
+                bounds.extend(range(d - p + 1, d + 1))
+                bounds.extend(range(p, 1, -1))
+                max_d = max(max_d, d)
+            elif d:
+                weight = 1.0 / d
+                row = template[i]
+                for j in neigh:
+                    row[j] += weight
+            # isolated node: only the self path contributes
+        # padded neighbour table so sampled indices gather in one shot
+        neigh_pad = np.zeros((len(rows), max_d), dtype=np.int64)
+        for r, neigh in enumerate(neigh_rows):
+            neigh_pad[r, : len(neigh)] = neigh
+        plan = {
+            "adj": adj,
+            "degrees": [len(x) for x in adj],
+            "template": template,
+            "rows": np.asarray(rows, dtype=np.int64),
+            "bases": np.asarray(degrees_sampled, dtype=np.int64) - p,
+            "neigh_pad": neigh_pad,
+            "bounds": np.asarray(bounds, dtype=np.int64),
+            # with unique neighbour lists a sample never scatters twice into
+            # one cell, so plain fancy assignment replaces np.add.at.
+            "unique_neigh": all(
+                len(set(neigh)) == len(neigh) for neigh in neigh_rows
+            ),
+        }
+        if len(self._plan_cache) >= 64:
+            self._plan_cache.clear()
+        self._plan_cache[key] = plan
+        return plan
 
     def aggregation_matrix(
         self, adj: List[List[int]], h: np.ndarray, layer: int
     ) -> np.ndarray:
-        n = len(adj)
-        a = np.zeros((n, n))
-        p = self.sample_size
-        for i in range(n):
-            neigh = adj[i]
-            if len(neigh) > p:
-                chosen = self.rng.choice(len(neigh), size=p, replace=False)
-                neigh = [neigh[c] for c in chosen]
-            if not neigh:
-                continue  # isolated node: only the self path contributes
-            weight = 1.0 / len(neigh)
-            for j in neigh:
-                a[i, j] += weight
+        """Mean over p sampled neighbours, via one batched RNG call.
+
+        Replays ``Generator.choice(d, size=p, replace=False)`` exactly —
+        Floyd's sampler followed by a Fisher-Yates output shuffle — against
+        a single vectorised ``integers`` draw, so the RNG stream and the
+        resulting matrix are bit-identical to the per-row ``choice`` loop
+        (asserted across seeds by ``tests/test_gnn.py``).  The shuffle
+        draws are consumed but their permutation is ignored: every sampled
+        neighbour carries the same 1/p weight, so row sums don't depend on
+        sample order.
+        """
+        plan = self._sampling_plan(adj)
+        a = plan["template"].copy()
+        bounds = plan["bounds"]
+        if bounds.size:
+            p = self.sample_size
+            rows = plan["rows"]
+            bases = plan["bases"]
+            # (m, 2p-1) draws per sampled row: p Floyd draws, then p-1
+            # output-shuffle draws whose permutation is irrelevant here.
+            draws = self.rng.integers(0, bounds).reshape(len(rows), 2 * p - 1)
+            chosen = draws[:, :p].copy()
+            # Floyd's collision rule, one sweep per sample slot: a draw that
+            # hit an earlier slot becomes j = base + k, which can never
+            # itself collide (earlier slots are all < base + k).
+            for k in range(1, p):
+                col = chosen[:, k]
+                hit = (chosen[:, :k] == col[:, None]).any(axis=1)
+                col[hit] = bases[hit] + k
+            cols = np.take_along_axis(plan["neigh_pad"], chosen, axis=1)
+            flat = np.repeat(rows * a.shape[1], p) + cols.ravel()
+            if plan["unique_neigh"]:
+                a.ravel()[flat] = 1.0 / p
+            else:
+                np.add.at(a.ravel(), flat, 1.0 / p)
         return a
 
 

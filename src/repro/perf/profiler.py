@@ -1,0 +1,76 @@
+"""Low-overhead per-stage wall-clock accounting for the tick loop.
+
+The profiler is a plain accumulator: the runner brackets each pipeline stage
+with :meth:`StageProfiler.start` / :meth:`StageProfiler.stop` pairs, which
+cost two ``perf_counter`` calls and two dict operations per stage per tick.
+At 25 ms ticks and ~9 stages that is well under 0.1 % of a typical run, so
+profiled numbers stay representative (unlike ``cProfile``, whose tracing
+inflates the Python-heavy stages 1.5-2x).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Accumulates wall-clock time per named pipeline stage."""
+
+    __slots__ = ("totals_s", "counts")
+
+    def __init__(self) -> None:
+        self.totals_s: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def start() -> float:
+        return time.perf_counter()
+
+    def stop(self, stage: str, t0: float) -> None:
+        dt = time.perf_counter() - t0
+        self.totals_s[stage] = self.totals_s.get(stage, 0.0) + dt
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Fold an externally measured duration into one stage."""
+        self.totals_s[stage] = self.totals_s.get(stage, 0.0) + seconds
+        self.counts[stage] = self.counts.get(stage, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def stage_ms(self) -> Dict[str, float]:
+        """Total milliseconds per stage."""
+        return {k: v * 1000.0 for k, v in self.totals_s.items()}
+
+    def total_s(self) -> float:
+        return sum(self.totals_s.values())
+
+    def rows(self) -> List[Tuple[str, float, int, float]]:
+        """(stage, total_ms, calls, share) sorted by time, heaviest first."""
+        total = self.total_s() or 1.0
+        out = []
+        for stage, seconds in sorted(
+            self.totals_s.items(), key=lambda kv: kv[1], reverse=True
+        ):
+            out.append(
+                (stage, seconds * 1000.0, self.counts[stage], seconds / total)
+            )
+        return out
+
+    def format_table(self, wall_s: Optional[float] = None) -> str:
+        lines = [f"{'stage':<12} {'total ms':>10} {'calls':>8} {'share':>7}"]
+        for stage, ms, calls, share in self.rows():
+            lines.append(f"{stage:<12} {ms:>10.1f} {calls:>8d} {share:>6.1%}")
+        lines.append(
+            f"{'(sum)':<12} {self.total_s() * 1000.0:>10.1f}"
+        )
+        if wall_s is not None:
+            lines.append(f"{'(wall)':<12} {wall_s * 1000.0:>10.1f}")
+        return "\n".join(lines)

@@ -121,6 +121,10 @@ class DCGBEScheduler:
         self._completion_mass = 0.0
         self.decisions = 0
         self.requeues = 0
+        #: per-snapshot static state: (snapshot, adj, clamped totals, and
+        #: the feature columns that cannot change within one snapshot).
+        #: Pinning the snapshot reference keys the cache by identity.
+        self._static_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
     # runner feedback
@@ -152,7 +156,7 @@ class DCGBEScheduler:
         if not requests or not snapshot.nodes:
             return []
         nodes = snapshot.nodes
-        adj = build_topology(nodes, snapshot)
+        adj, cpu_tot, mem_tot, static_cols = self._static_state(snapshot)
         # working copies updated as this round assigns requests
         cpu_ava = np.array([n.cpu_available for n in nodes])
         mem_ava = np.array([n.mem_available for n in nodes])
@@ -170,8 +174,9 @@ class DCGBEScheduler:
             need_cpu = spec.min_resources.cpu
             need_mem = spec.min_resources.memory
             mask = (cpu_ava >= need_cpu) & (mem_ava >= need_mem)
-            features = self._features(
-                nodes, cpu_ava, mem_ava, pending_cpu, spec
+            features = self._features_fast(
+                cpu_ava, mem_ava, pending_cpu, spec,
+                cpu_tot, mem_tot, static_cols,
             )
             if not mask.any():
                 # No node can process immediately: the request is still sent
@@ -216,6 +221,56 @@ class DCGBEScheduler:
     # ------------------------------------------------------------------ #
     # state + reward construction
     # ------------------------------------------------------------------ #
+    def _static_state(self, snapshot: SystemSnapshot):
+        """Topology + immutable feature columns, cached per snapshot.
+
+        A snapshot is immutable once published, so its adjacency list,
+        clamped totals, and the capacity/slack feature columns are computed
+        once per refresh period instead of once per request.
+        """
+        cache = self._static_cache
+        if cache is not None and cache[0] is snapshot:
+            return cache[1], cache[2], cache[3], cache[4]
+        nodes = snapshot.nodes
+        adj = build_topology(nodes, snapshot)
+        cpu_tot = np.array([max(n.cpu_total, 1e-9) for n in nodes])
+        mem_tot = np.array([max(n.mem_total, 1e-9) for n in nodes])
+        static_cols = (
+            cpu_tot / 16.0,
+            mem_tot / 32768.0,
+            np.array([n.min_slack for n in nodes]),
+        )
+        self._static_cache = (snapshot, adj, cpu_tot, mem_tot, static_cols)
+        return adj, cpu_tot, mem_tot, static_cols
+
+    @staticmethod
+    def _features_fast(
+        cpu_ava: np.ndarray,
+        mem_ava: np.ndarray,
+        pending_cpu: np.ndarray,
+        spec,
+        cpu_tot: np.ndarray,
+        mem_tot: np.ndarray,
+        static_cols: tuple,
+    ) -> np.ndarray:
+        """Vectorised :meth:`_features` over precomputed clamped totals.
+
+        Every column is an elementwise numpy op over the same operands the
+        scalar loop uses, so the result is bit-identical (asserted by
+        ``tests/test_dcg_be.py``).
+        """
+        n = cpu_ava.shape[0]
+        feats = np.empty((n, N_NODE_FEATURES))
+        feats[:, 0] = cpu_ava / cpu_tot
+        feats[:, 1] = mem_ava / mem_tot
+        feats[:, 2] = static_cols[0]
+        feats[:, 3] = static_cols[1]
+        feats[:, 4] = static_cols[2]
+        feats[:, 5] = spec.reference_resources.cpu / cpu_tot
+        feats[:, 6] = spec.reference_resources.memory / mem_tot
+        feats[:, 7] = np.minimum(2.0, pending_cpu / cpu_tot)
+        return feats
+
     @staticmethod
     def _features(
         nodes: Sequence[NodeSnapshot],

@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.state_storage import NodeSnapshot, SystemSnapshot
 from repro.flow.graph import AssignmentResult, SupplyDemandGraph, solve_transport
+from repro.flow.mcmf import MinCostMaxFlow
 from repro.hrm.reassurance import ReassuranceMechanism
 from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
@@ -58,6 +59,11 @@ class DSSLCConfig:
     #: the ρ(·) case-2 priority policy: random (paper default), fifo,
     #: deadline, or tier (§5.2.2: "can be changed as required").
     priority: str = "random"
+    #: warm-start each pooled solver's Johnson potentials from its previous
+    #: solve.  Off by default: warm starts can change Dijkstra tie-breaks
+    #: among equal-delay workers, so runs are no longer bit-identical to the
+    #: cold-start schedule (flow cost is unchanged).
+    reuse_potentials: bool = False
     #: solve all request types jointly over shared link capacities (the
     #: full multi-commodity formulation) instead of the paper's per-type
     #: "in parallel" graphs.  Costs one sequential MCMF pass per type but
@@ -83,6 +89,18 @@ class DSSLCScheduler:
         )
         self.decision_latencies_ms: List[float] = []
         self.case2_rounds = 0
+        #: one solver arena per (origin master, request type): graph shape
+        #: is stable across ticks for a given pair, so the flat flow arrays
+        #: are recycled instead of reallocated every dispatch round.
+        self._arenas: Dict[Tuple[int, str], MinCostMaxFlow] = {}
+        #: per-type minima cache: (service, id(nodes)) -> (nodes ref,
+        #: reassurance version, r_cpu, r_mem).  Each master queries its own
+        #: eligible-node list, so the list identity is part of the key; the
+        #: pinned nodes reference inside the entry defeats ``id()`` reuse.
+        self._minima_cache: Dict[Tuple[str, int], tuple] = {}
+        #: per-node resource columns (cpu/mem available+total, lc queue)
+        #: as arrays, keyed and pinned the same way as the minima cache.
+        self._node_array_cache: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------ #
     # public API
@@ -132,20 +150,20 @@ class DSSLCScheduler:
     ) -> List[Assignment]:
         spec = requests[0].spec
         r_cpu, r_mem = self._per_request_minima(spec, nodes)
+        cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q = self._node_arrays(nodes)
 
         # |t_i^k| of Eq. 2, with two practical corrections: the node is only
         # filled to ``target_fill`` of its total (past that every co-located
         # request pays interference), and requests already waiting at the
-        # node consume capacity units this round.
-        fill = self.config.target_fill
-        capacities = []
-        for i, n in enumerate(nodes):
-            cpu_eff = max(0.0, n.cpu_available - (1.0 - fill) * n.cpu_total)
-            mem_eff = max(0.0, n.mem_available - (1.0 - fill) * n.mem_total)
-            units = self._node_units(cpu_eff, mem_eff, r_cpu[i], r_mem[i])
-            capacities.append(max(0, units - n.lc_queue))
+        # node consume capacity units this round.  Elementwise array ops are
+        # IEEE-identical to the scalar per-node loop they replace.
+        hold = 1.0 - self.config.target_fill
+        cpu_eff = np.maximum(0.0, cpu_ava - hold * cpu_tot)
+        mem_eff = np.maximum(0.0, mem_ava - hold * mem_tot)
+        units = np.minimum(cpu_eff / r_cpu, mem_eff / r_mem).astype(np.int64)
+        capacities = np.maximum(0, units - lc_q)
         pending = len(requests)
-        total_capacity = sum(capacities)
+        total_capacity = int(capacities.sum())
 
         if pending <= total_capacity:
             placed = self._solve_and_assign(
@@ -165,10 +183,9 @@ class DSSLCScheduler:
 
         queued = queued[: self.config.max_queue_push]
         if queued:
-            total_units = [
-                self._node_units(n.cpu_total, n.mem_total, r_cpu[i], r_mem[i])
-                for i, n in enumerate(nodes)
-            ]
+            total_units = np.minimum(
+                cpu_tot / r_cpu, mem_tot / r_mem
+            ).astype(np.int64)
             aug_caps = self._augmented_capacities(total_units, len(queued))
             assignments.extend(
                 self._solve_and_assign(
@@ -263,16 +280,54 @@ class DSSLCScheduler:
     def _per_request_minima(
         self, spec: ServiceSpec, nodes: List[NodeSnapshot]
     ) -> tuple:
-        """Per-node (r^c_k, r^m_k), re-assurance-adjusted when available."""
-        r_cpu, r_mem = [], []
-        for n in nodes:
+        """Per-node (r^c_k, r^m_k), re-assurance-adjusted when available.
+
+        Memoized per (node list, re-assurance version): the node list is a
+        shared snapshot object, and re-assurance minima only move when its
+        control loop fires, so successive dispatch rounds within a snapshot
+        period reuse the same vectors.
+        """
+        version = self.reassurance.version if self.reassurance is not None else 0
+        key = (spec.name, id(nodes))
+        cached = self._minima_cache.get(key)
+        if cached is not None and cached[0] is nodes and cached[1] == version:
+            return cached[2], cached[3]
+        r_cpu = np.empty(len(nodes))
+        r_mem = np.empty(len(nodes))
+        for i, n in enumerate(nodes):
             if self.reassurance is not None:
                 r = self.reassurance.min_resources(n.name, spec)
             else:
                 r = spec.min_resources
-            r_cpu.append(max(r.cpu, 1e-9))
-            r_mem.append(max(r.memory, 1e-9))
+            r_cpu[i] = max(r.cpu, 1e-9)
+            r_mem[i] = max(r.memory, 1e-9)
+        if len(self._minima_cache) > 512:
+            self._minima_cache.clear()
+        self._minima_cache[key] = (nodes, version, r_cpu, r_mem)
         return r_cpu, r_mem
+
+    def _node_arrays(self, nodes: List[NodeSnapshot]) -> tuple:
+        """Resource columns for a snapshot's eligible-node list, as arrays.
+
+        Valid for the lifetime of the list object (node views are frozen for
+        a snapshot period); the entry pins the list so a recycled ``id()``
+        can never serve stale columns.
+        """
+        key = id(nodes)
+        cached = self._node_array_cache.get(key)
+        if cached is not None and cached[0] is nodes:
+            return cached[1]
+        arrays = (
+            np.array([n.cpu_available for n in nodes]),
+            np.array([n.mem_available for n in nodes]),
+            np.array([n.cpu_total for n in nodes]),
+            np.array([n.mem_total for n in nodes]),
+            np.array([n.lc_queue for n in nodes], dtype=np.int64),
+        )
+        if len(self._node_array_cache) > 64:
+            self._node_array_cache.clear()
+        self._node_array_cache[key] = (nodes, arrays)
+        return arrays
 
     @staticmethod
     def _node_units(
@@ -321,6 +376,10 @@ class DSSLCScheduler:
     ) -> List[Assignment]:
         if not requests:
             return []
+        arena_key = (origin_cluster, requests[0].spec.name)
+        arena = self._arenas.get(arena_key)
+        if arena is None:
+            arena = self._arenas[arena_key] = MinCostMaxFlow(len(nodes) + 3)
         graph = SupplyDemandGraph()
         # node 0 is the origin master (supply); 1..N are workers (demand)
         graph.supplies = [len(requests)] + [-c for c in capacities]
@@ -339,7 +398,11 @@ class DSSLCScheduler:
                     break
                 graph.edges.append((0, 1 + i, delay + surcharge, take))
                 remaining -= take
-        result: AssignmentResult = solve_transport(graph)
+        result: AssignmentResult = solve_transport(
+            graph,
+            arena=arena,
+            reuse_potentials=self.config.reuse_potentials,
+        )
 
         assignments: List[Assignment] = []
         cursor = 0
@@ -365,3 +428,18 @@ class DSSLCScheduler:
         if not self.decision_latencies_ms:
             return 0.0
         return float(np.mean(self.decision_latencies_ms))
+
+    def solver_stats(self) -> Dict[str, float]:
+        """Aggregate counters across all pooled solver arenas."""
+        return {
+            "arenas": len(self._arenas),
+            "solves": sum(a.solves for a in self._arenas.values()),
+            "augmentations": sum(
+                a.augmentations for a in self._arenas.values()
+            ),
+            "warm_starts": sum(a.warm_starts for a in self._arenas.values()),
+            "case2_rounds": self.case2_rounds,
+            "mean_decision_latency_ms": round(
+                self.mean_decision_latency_ms(), 4
+            ),
+        }

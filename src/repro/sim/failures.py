@@ -153,4 +153,7 @@ class FailureInjector:
                 request = queue.popleft()
                 request.state = RequestState.QUEUED_MASTER
                 displaced.append(request)
+        # queues/running were mutated directly, bypassing the node methods
+        # that normally maintain the snapshot dirty flag.
+        worker.snapshot_dirty = True
         return displaced

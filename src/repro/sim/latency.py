@@ -23,7 +23,7 @@ The model returns a *speed factor*: work progresses at ``speed × dt``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.resources import ResourceVector
 from repro.workloads.spec import ServiceSpec
@@ -36,6 +36,9 @@ CONTENTION_KNEE = 0.85
 CONTENTION_SLOPE = 1.2
 #: ceiling on super-reference speed-up.
 MAX_SPEEDUP = 1.25
+
+#: cache-miss sentinel (``None`` is a legitimate cached value).
+_UNSET = object()
 
 
 def speed_factor(
@@ -79,6 +82,13 @@ class LatencyModel:
     contention_knee: float = CONTENTION_KNEE
     contention_slope: float = CONTENTION_SLOPE
     max_speedup: float = MAX_SPEEDUP
+    #: (service, alloc cpu, alloc mem) -> min(cpu_speed, mem_speed), or None
+    #: for unrunnable allocations.  The allocation-dependent part of the
+    #: model is pure, and running requests keep the same allocation for many
+    #: ticks, so it is memoized; only the contention factor varies per call.
+    _base_cache: dict = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def speed(
         self,
@@ -86,20 +96,38 @@ class LatencyModel:
         allocation: ResourceVector,
         node_utilization: float,
     ) -> float:
-        ref = spec.reference_resources
-        if allocation.cpu <= 0 or (ref.memory > 0 and allocation.memory <= 0):
+        cache = self._base_cache
+        key = (spec.name, allocation.cpu, allocation.memory)
+        base = cache.get(key, _UNSET)
+        if base is _UNSET:
+            ref = spec.reference_resources
+            if allocation.cpu <= 0 or (
+                ref.memory > 0 and allocation.memory <= 0
+            ):
+                base = None
+            else:
+                cpu_ratio = (
+                    allocation.cpu / ref.cpu if ref.cpu > 0 else 1.0
+                )
+                if cpu_ratio >= 1.0:
+                    cpu_speed = min(
+                        self.max_speedup,
+                        1.0 + 0.5 * math.log1p(cpu_ratio - 1.0),
+                    )
+                else:
+                    cpu_speed = cpu_ratio**spec.cpu_elasticity
+                if ref.memory > 0:
+                    mem_speed = math.sqrt(
+                        min(1.0, allocation.memory / ref.memory)
+                    )
+                else:
+                    mem_speed = 1.0
+                base = min(cpu_speed, mem_speed)
+            if len(cache) >= 8192:
+                cache.clear()
+            cache[key] = base
+        if base is None:
             return 0.0
-        cpu_ratio = allocation.cpu / ref.cpu if ref.cpu > 0 else 1.0
-        if cpu_ratio >= 1.0:
-            cpu_speed = min(
-                self.max_speedup, 1.0 + 0.5 * math.log1p(cpu_ratio - 1.0)
-            )
-        else:
-            cpu_speed = cpu_ratio**spec.cpu_elasticity
-        if ref.memory > 0:
-            mem_speed = math.sqrt(min(1.0, allocation.memory / ref.memory))
-        else:
-            mem_speed = 1.0
         contention = 1.0
         if node_utilization > self.contention_knee:
             over = node_utilization - self.contention_knee
@@ -107,7 +135,7 @@ class LatencyModel:
                 1.0
                 + self.contention_slope * over * over / (1 - self.contention_knee)
             )
-        return max(0.0, min(cpu_speed, mem_speed) * contention)
+        return max(0.0, base * contention)
 
     def expected_processing_ms(
         self,

@@ -52,6 +52,9 @@ class RunnerConfig:
     record_events: bool = False
     #: run the invariant checker every tick (a few % overhead; CI uses it).
     validate: bool = False
+    #: time each pipeline stage with :class:`repro.perf.StageProfiler`
+    #: (exposed as ``runner.profiler``; ~0.1 % overhead).
+    profile: bool = False
 
 
 class SimulationRunner:
@@ -87,10 +90,21 @@ class SimulationRunner:
         self._trace_cursor = 0
         self._be_distributed = getattr(be_scheduler, "distributed", False)
         self.dropped_be = 0
+        #: LC requests lost while running on a crashed node (abandoned).
+        self.crash_abandoned = 0
         self.injector: Optional[FailureInjector] = None
         if self.config.failures is not None:
             self.injector = FailureInjector(system, self.config.failures)
             self.storage.node_filter = self._node_visible
+        self.profiler: Optional["StageProfiler"] = None
+        if self.config.profile:
+            from repro.perf.profiler import StageProfiler
+
+            self.profiler = StageProfiler()
+        # active-set stepping state, initialised at run() start.
+        self._worker_list: List = []
+        self._active: set = set()
+        self._idle_skip_ok = False
         self.events: Optional[EventRecorder] = (
             EventRecorder() if self.config.record_events else None
         )
@@ -106,21 +120,75 @@ class SimulationRunner:
     def run(self) -> RunMetrics:
         cfg = self.config
         n_ticks = int(cfg.duration_ms / cfg.tick_ms)
-        for _ in range(n_ticks):
-            now = self.clock.now_ms
-            self._inject_arrivals(now + cfg.tick_ms)
-            self._apply_failures(now)
-            snapshot = self.storage.refresh(now)
-            self._dispatch_lc(snapshot, now)
-            self._dispatch_be(snapshot, now)
-            self._deliver(now)
-            self._step_nodes(now)
-            self._run_reassurance(now)
-            if self.checker is not None:
-                self.checker.check(now, self.collector.metrics)
-            self.collector.maybe_sample(now + cfg.tick_ms)
-            self.clock.advance()
+        self._init_active_set()
+        prof = self.profiler
+        if prof is None:
+            for _ in range(n_ticks):
+                now = self.clock.now_ms
+                self._inject_arrivals(now + cfg.tick_ms)
+                self._apply_failures(now)
+                snapshot = self.storage.refresh(now)
+                self._dispatch_lc(snapshot, now)
+                self._dispatch_be(snapshot, now)
+                self._deliver(now)
+                self._step_nodes(now)
+                self._run_reassurance(now)
+                if self.checker is not None:
+                    self.checker.check(now, self.collector.metrics)
+                self.collector.maybe_sample(now + cfg.tick_ms)
+                self.clock.advance()
+        else:
+            for _ in range(n_ticks):
+                now = self.clock.now_ms
+                t = prof.start()
+                self._inject_arrivals(now + cfg.tick_ms)
+                prof.stop("arrivals", t)
+                if self.injector is not None:
+                    t = prof.start()
+                    self._apply_failures(now)
+                    prof.stop("failures", t)
+                t = prof.start()
+                snapshot = self.storage.refresh(now)
+                prof.stop("refresh", t)
+                t = prof.start()
+                self._dispatch_lc(snapshot, now)
+                prof.stop("lc", t)
+                t = prof.start()
+                self._dispatch_be(snapshot, now)
+                prof.stop("be", t)
+                t = prof.start()
+                self._deliver(now)
+                prof.stop("deliver", t)
+                t = prof.start()
+                self._step_nodes(now)
+                prof.stop("step", t)
+                t = prof.start()
+                self._run_reassurance(now)
+                prof.stop("reassure", t)
+                t = prof.start()
+                if self.checker is not None:
+                    self.checker.check(now, self.collector.metrics)
+                self.collector.maybe_sample(now + cfg.tick_ms)
+                prof.stop("metrics", t)
+                self.clock.advance()
         return self.collector.metrics
+
+    def _init_active_set(self) -> None:
+        """Prepare active-set stepping for this run.
+
+        ``_worker_list`` fixes the canonical step order (cluster-ascending,
+        worker order within a cluster — identical to the seed's nested
+        loops).  A node is skipped only when it is verifiably inert: no
+        queued or running work, *and* its manager declares ``tick`` a no-op
+        on idle nodes (HRM and the static partitioner do; CERES keeps a
+        control-loop timestamp per tick, so CERES runs step every node).
+        """
+        self._worker_list = list(self.system.all_workers())
+        self._active = set(self._worker_list)
+        self._idle_skip_ok = all(
+            getattr(node.manager, "idle_tick_noop", False)
+            for node in self._worker_list
+        )
 
     # ------------------------------------------------------------------ #
     # stage 1: arrivals
@@ -171,15 +239,18 @@ class SimulationRunner:
                         type="Warning" if ev.kind == "crash" else "Normal",
                     )
         for request in displaced:
-            if request.state.value == "abandoned":
+            if request.state is RequestState.ABANDONED:
+                # LC running on the crashed node when it went down: the
+                # injector marked it abandoned; fold it into the abandon
+                # counters exactly like a queue-patience drop.
+                self.crash_abandoned += 1
                 self.collector.on_abandon(request)
             elif request.is_lc:
+                # queued LC survives the crash: back to its origin master.
                 self.system.cluster(request.origin_cluster).receive(request)
             else:
                 self._requeue_evicted(request, now_ms)
-        # crashed-node handling for LC: mark_abandoned happens in the
-        # injector; count those too
-        
+
     # ------------------------------------------------------------------ #
     # stage 2: LC dispatch (distributed, per master)
     # ------------------------------------------------------------------ #
@@ -280,48 +351,64 @@ class SimulationRunner:
         for request, cluster_id, node_name in self._deliveries.pop_due(now_ms):
             node = self.system.cluster(cluster_id).worker(node_name)
             node.enqueue(request, now_ms)
+            self._active.add(node)
 
     # ------------------------------------------------------------------ #
     # node execution
     # ------------------------------------------------------------------ #
     def _step_nodes(self, now_ms: float) -> None:
+        """Step nodes holding work, in the canonical (seed) node order.
+
+        Membership in ``_active`` is maintained incrementally — added on
+        delivery, removed when a step leaves the node idle — so an idle
+        fleet costs one set lookup per node instead of a full step.  The
+        canonical iteration order is kept (rather than iterating the set)
+        because step order is observable: it decides eviction-requeue and
+        completion-callback order.
+        """
         dt = self.config.tick_ms
-        for cluster in self.system.clusters:
-            for node in cluster.workers:
-                if self.injector is not None and self.injector.node_is_down(
-                    node.name
+        active = self._active
+        skip_idle = self._idle_skip_ok
+        injector = self.injector
+        for node in self._worker_list:
+            if skip_idle and node not in active:
+                continue
+            if injector is not None and injector.node_is_down(node.name):
+                continue
+            completed, evicted, abandoned = node.step(now_ms, dt)
+            if skip_idle and not node.is_active:
+                active.discard(node)
+            if not (completed or evicted or abandoned):
+                continue
+            for request in completed:
+                self.collector.on_completion(request)
+                if not request.is_lc and hasattr(
+                    self.be_scheduler, "note_completion"
                 ):
-                    continue
-                completed, evicted, abandoned = node.step(now_ms, dt)
-                for request in completed:
-                    self.collector.on_completion(request)
-                    if not request.is_lc and hasattr(
-                        self.be_scheduler, "note_completion"
-                    ):
-                        self.be_scheduler.note_completion(
-                            request, node.capacity.cpu, node.capacity.memory
-                        )
-                for request in evicted:
-                    self.collector.on_eviction(request)
-                    self._requeue_evicted(request, now_ms)
-                    if self.events is not None:
-                        self.events.emit(
-                            now_ms,
-                            Reason.EVICTED,
-                            f"req/{request.request_id}",
-                            f"{request.spec.name} preempted on {node.name}",
-                            type="Warning",
-                        )
-                for request in abandoned:
-                    self.collector.on_abandon(request)
-                    if self.events is not None:
-                        self.events.emit(
-                            now_ms,
-                            Reason.FAILED_SCHEDULING,
-                            f"req/{request.request_id}",
-                            f"{request.spec.name} abandoned past deadline",
-                            type="Warning",
-                        )
+                    self.be_scheduler.note_completion(
+                        request, node.capacity.cpu, node.capacity.memory
+                    )
+            for request in evicted:
+                self.collector.on_eviction(request)
+                self._requeue_evicted(request, now_ms)
+                if self.events is not None:
+                    self.events.emit(
+                        now_ms,
+                        Reason.EVICTED,
+                        f"req/{request.request_id}",
+                        f"{request.spec.name} preempted on {node.name}",
+                        type="Warning",
+                    )
+            for request in abandoned:
+                self.collector.on_abandon(request)
+                if self.events is not None:
+                    self.events.emit(
+                        now_ms,
+                        Reason.FAILED_SCHEDULING,
+                        f"req/{request.request_id}",
+                        f"{request.spec.name} abandoned past deadline",
+                        type="Warning",
+                    )
 
     def _requeue_evicted(self, request: ServiceRequest, now_ms: float) -> None:
         if not self.config.requeue_evicted_be:
@@ -339,8 +426,16 @@ class SimulationRunner:
     def _run_reassurance(self, now_ms: float) -> None:
         if self.reassurance is None:
             return
+        # only nodes in the active set can hold running LC work, so the
+        # active-services map is built from it (idle nodes contribute
+        # nothing to Algorithm 1 either way).
         active: Dict[str, Dict[str, ServiceSpec]] = {}
-        for node in self.system.all_workers():
+        active_set = self._active if self._idle_skip_ok else None
+        for node in self._worker_list:
+            if active_set is not None and node not in active_set:
+                continue
+            if not node.running:
+                continue
             services: Dict[str, ServiceSpec] = {}
             for rr in node.running.values():
                 if rr.request.is_lc:

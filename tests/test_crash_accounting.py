@@ -1,0 +1,91 @@
+"""Crash-displacement accounting: no request may vanish from the books.
+
+Regression for the node-crash path in ``SimulationRunner._apply_failures``:
+LC requests running on a node when it crashes are abandoned (counted via
+the collector and ``runner.crash_abandoned``), queued LC survivors return
+to their origin master, BE requests are requeued — and every LC arrival
+must end the run completed, abandoned, or still somewhere in the system.
+"""
+
+from __future__ import annotations
+
+from repro import TangoConfig, TangoSystem
+from repro.cluster.topology import TopologyConfig
+from repro.sim.failures import FailureConfig
+from repro.sim.runner import RunnerConfig
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+
+def run_with_failures(mtbf_ms=400.0, seed=5):
+    duration = 6_000.0
+    trace = SyntheticTrace(
+        TraceConfig(
+            n_clusters=3, duration_ms=duration, seed=seed,
+            lc_peak_rps=25.0, be_peak_rps=6.0,
+        )
+    ).generate()
+    cfg = TangoConfig.tango(
+        topology=TopologyConfig(n_clusters=3, workers_per_cluster=3, seed=seed),
+        runner=RunnerConfig(
+            duration_ms=duration,
+            failures=FailureConfig(
+                node_mtbf_ms=mtbf_ms, node_downtime_ms=800.0, seed=seed
+            ),
+        ),
+    )
+    system = TangoSystem(cfg)
+    metrics = system.run(trace)
+    return system, metrics
+
+
+class TestCrashAccounting:
+    def test_crashes_happened_and_were_counted(self):
+        system, metrics = run_with_failures()
+        runner = system.last_runner
+        crashes = [e for e in runner.injector.events if e.kind == "crash"]
+        assert crashes, "expected the aggressive MTBF to produce crashes"
+        # crash-abandoned LC requests flow into the collector's total
+        assert runner.crash_abandoned > 0
+        assert metrics.lc_abandoned >= runner.crash_abandoned
+
+    def test_lc_conservation_under_crashes(self):
+        """arrived == completed + abandoned + still-in-system for LC."""
+        system, metrics = run_with_failures()
+        runner = system.last_runner
+        in_nodes = 0
+        for node in system.system.all_workers():
+            lc_q, _ = node.queue_lengths()
+            in_nodes += lc_q
+            in_nodes += sum(1 for rr in node.running.values() if rr.is_lc)
+        pending_master = sum(
+            len(cluster.lc_queue) for cluster in system.system.clusters
+        )
+        in_transit = sum(
+            1
+            for _, _, payload in runner._deliveries._heap
+            if payload[0].is_lc
+        )
+        accounted = (
+            metrics.lc_completed
+            + metrics.lc_abandoned
+            + in_nodes
+            + pending_master
+            + in_transit
+        )
+        assert accounted == metrics.lc_arrived
+
+    def test_no_failures_means_no_crash_abandons(self):
+        duration = 2_000.0
+        trace = SyntheticTrace(
+            TraceConfig(
+                n_clusters=2, duration_ms=duration, seed=3,
+                lc_peak_rps=10.0, be_peak_rps=3.0,
+            )
+        ).generate()
+        cfg = TangoConfig.tango(
+            topology=TopologyConfig(n_clusters=2, workers_per_cluster=2, seed=3),
+            runner=RunnerConfig(duration_ms=duration),
+        )
+        system = TangoSystem(cfg)
+        system.run(trace)
+        assert system.last_runner.crash_abandoned == 0

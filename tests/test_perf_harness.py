@@ -1,0 +1,76 @@
+"""Tests for the perf layer: StageProfiler, run_bench, and the profile flag."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.bench import run_bench, write_bench_json
+from repro.perf.profiler import StageProfiler
+
+
+class TestStageProfiler:
+    def test_accumulates_and_counts(self):
+        prof = StageProfiler()
+        prof.add("lc", 0.25)
+        prof.add("lc", 0.75)
+        prof.add("be", 0.5)
+        assert prof.stage_ms() == {"lc": 1000.0, "be": 500.0}
+        assert prof.counts == {"lc": 2, "be": 1}
+        assert prof.total_s() == 1.5
+
+    def test_start_stop_measures_elapsed(self):
+        prof = StageProfiler()
+        t0 = prof.start()
+        for _ in range(1000):
+            pass
+        prof.stop("step", t0)
+        assert prof.counts["step"] == 1
+        assert 0.0 < prof.totals_s["step"] < 5.0
+
+    def test_rows_sorted_heaviest_first(self):
+        prof = StageProfiler()
+        prof.add("small", 0.1)
+        prof.add("big", 0.9)
+        rows = prof.rows()
+        assert [r[0] for r in rows] == ["big", "small"]
+        assert abs(rows[0][3] - 0.9) < 1e-9  # share
+
+    def test_format_table_mentions_all_stages(self):
+        prof = StageProfiler()
+        prof.add("refresh", 0.2)
+        table = prof.format_table(wall_s=0.3)
+        assert "refresh" in table
+        assert "(wall)" in table
+
+
+class TestRunBench:
+    def test_small_workload_produces_stage_breakdown(self):
+        result = run_bench(
+            {"clusters": 2, "duration_ms": 500.0, "lc_peak_rps": 10.0,
+             "be_peak_rps": 3.0},
+            profile=True,
+        )
+        assert result["ticks"] == 20
+        assert result["ticks_per_sec"] > 0
+        for stage in ("lc", "be", "step", "refresh"):
+            assert stage in result["stage_ms"]
+        assert result["solver"]["solves"] >= 0
+
+    def test_profile_flag_off_omits_stages(self):
+        result = run_bench(
+            {"clusters": 2, "duration_ms": 250.0, "lc_peak_rps": 5.0,
+             "be_peak_rps": 2.0},
+            profile=False,
+        )
+        assert "stage_ms" not in result
+
+    def test_write_bench_json_computes_speedup(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench_json(
+            {"ticks_per_sec": 30.0}, str(path),
+            before={"ticks_per_sec": 15.0},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["speedup"] == 2.0
+        assert payload["after"]["ticks_per_sec"] == 30.0
+        assert payload["before"]["ticks_per_sec"] == 15.0

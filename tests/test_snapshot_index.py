@@ -1,0 +1,98 @@
+"""Indexed-snapshot and incremental-refresh behaviour of StateStorage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import EdgeCloudSystem, TopologyConfig
+from repro.core.state_storage import StateStorage
+from repro.sim.request import ServiceRequest
+from repro.workloads.spec import ServiceKind, default_catalog
+
+CATALOG = default_catalog()
+LC = next(s for s in CATALOG if s.kind is ServiceKind.LC)
+
+
+class AdmitNothing:
+    def admit(self, node, request, now_ms):
+        return None
+
+    def on_complete(self, node, running, now_ms):
+        pass
+
+    def tick(self, node, now_ms):
+        pass
+
+
+def make_system(clusters=3, workers=2):
+    system = EdgeCloudSystem(
+        TopologyConfig(n_clusters=clusters, workers_per_cluster=workers)
+    )
+    for w in system.all_workers():
+        w.manager = AdmitNothing()
+    return system
+
+
+class TestIndexes:
+    def test_node_lookup_matches_linear_scan(self):
+        snap = StateStorage(make_system()).refresh(0.0)
+        for ns in snap.nodes:
+            assert snap.node(ns.name) is ns
+
+    def test_node_lookup_unknown_raises(self):
+        snap = StateStorage(make_system()).refresh(0.0)
+        with pytest.raises(KeyError):
+            snap.node("no-such-node")
+
+    def test_nodes_of_preserves_seed_ordering(self):
+        """Subset order must equal a filter of the global node order."""
+        snap = StateStorage(make_system(clusters=4)).refresh(0.0)
+        for subset in ([2], [0, 3], [3, 0], [1, 2, 3], [2, 2, 1]):
+            want = [n for n in snap.nodes if n.cluster_id in set(subset)]
+            got = snap.nodes_of(list(subset))
+            assert [n.name for n in got] == [n.name for n in want]
+
+    def test_nodes_of_caches_repeated_queries(self):
+        snap = StateStorage(make_system()).refresh(0.0)
+        first = snap.nodes_of([0, 1])
+        second = snap.nodes_of([1, 0])  # order-insensitive cache key
+        assert second is first
+
+    def test_nodes_of_none_returns_fresh_copy(self):
+        snap = StateStorage(make_system()).refresh(0.0)
+        full = snap.nodes_of(None)
+        assert full == list(snap.nodes)
+        full.pop()
+        assert len(snap.nodes_of(None)) == len(snap.nodes)
+
+
+class TestIncrementalRefresh:
+    def test_clean_nodes_reuse_their_snapshot(self):
+        storage = StateStorage(make_system())
+        snap1 = storage.refresh(0.0, force=True)
+        snap2 = storage.refresh(1_000.0, force=True)
+        # no node changed: snapshot objects are rebuilt but node views reused
+        for a, b in zip(snap1.nodes, snap2.nodes):
+            assert a is b
+
+    def test_dirty_node_gets_fresh_snapshot(self):
+        system = make_system()
+        storage = StateStorage(system)
+        snap1 = storage.refresh(0.0, force=True)
+        workers = list(system.all_workers())
+        worker = workers[0]
+        req = ServiceRequest(request_id=1, spec=LC, arrival_ms=0.0, origin_cluster=0)
+        worker.enqueue(req, 5.0)
+        snap2 = storage.refresh(1_000.0, force=True)
+        fresh = snap2.node(worker.name)
+        assert fresh is not snap1.node(worker.name)
+        assert fresh.lc_queue == 1
+        # untouched workers still share their old node view
+        other = workers[-1]
+        assert snap2.node(other.name) is snap1.node(other.name)
+
+    def test_dirty_flag_cleared_after_refresh(self):
+        system = make_system()
+        storage = StateStorage(system)
+        storage.refresh(0.0, force=True)
+        assert all(not w.snapshot_dirty for w in system.all_workers())
