@@ -27,6 +27,15 @@ Commands
 
         python -m repro bench
         python -m repro bench --out BENCH_PR1.json
+        python -m repro bench --json          # machine-readable output
+
+``trace``
+    Run one stack with the observability subsystem enabled and dump the
+    request-lifecycle span traces as JSONL (one trace per line)::
+
+        python -m repro trace --stack tango --duration 10
+        python -m repro trace --status completed --limit 50 --out traces.jsonl
+        python -m repro trace --metrics-out metrics.prom   # Prometheus text
 """
 
 from __future__ import annotations
@@ -110,6 +119,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="override benchmark cluster count",
     )
     bench.add_argument("--out", help="write the benchmark JSON here")
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the full benchmark result as JSON on stdout",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="run with observability on and dump span traces"
+    )
+    _common_run_args(trace)
+    trace.add_argument(
+        "--stack", choices=sorted(_STACKS), default="tango",
+        help="which system to assemble",
+    )
+    trace.add_argument(
+        "--out", help="write trace JSONL here (default: stdout)"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, help="max traces to dump"
+    )
+    trace.add_argument(
+        "--service", default=None, help="only traces of this service"
+    )
+    trace.add_argument(
+        "--status", default=None,
+        choices=["open", "completed", "abandoned", "dropped"],
+        help="only traces with this terminal status",
+    )
+    trace.add_argument(
+        "--metrics-out",
+        help="also write the metric registry here (.prom → Prometheus "
+        "text exposition format, anything else → JSONL samples)",
+    )
     return parser
 
 
@@ -125,7 +166,9 @@ def _common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
-def _build_system(stack: str, args: argparse.Namespace) -> TangoSystem:
+def _build_system(
+    stack: str, args: argparse.Namespace, *, observe: bool = False
+) -> TangoSystem:
     factory = _STACKS[stack]
     config = factory(
         topology=TopologyConfig(
@@ -133,7 +176,9 @@ def _build_system(stack: str, args: argparse.Namespace) -> TangoSystem:
             workers_per_cluster=args.workers or None,
             seed=args.seed,
         ),
-        runner=RunnerConfig(duration_ms=args.duration * 1000.0),
+        runner=RunnerConfig(
+            duration_ms=args.duration * 1000.0, observe=observe
+        ),
     )
     return TangoSystem(config)
 
@@ -196,6 +241,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from repro.perf.bench import run_bench, write_bench_json
 
     overrides = {}
@@ -204,6 +251,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.clusters is not None:
         overrides["clusters"] = args.clusters
     result = run_bench(overrides or None, profile=True)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+        if args.out:
+            write_bench_json(result, args.out)
+        return 0
     wl = result["workload"]
     print(
         f"{wl['stack']} | {wl['clusters']} clusters / {wl['n_workers']} "
@@ -224,6 +276,30 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    system = _build_system(args.stack, args, observe=True)
+    system.run(_build_trace(args))
+    runner = system.last_runner
+    hub = runner.hub
+    assert hub is not None and hub.tracer is not None
+    kwargs = dict(
+        status=args.status, service=args.service, limit=args.limit
+    )
+    if args.out:
+        written = hub.tracer.write_jsonl(args.out, **kwargs)
+        print(f"{written} traces written to {args.out}", file=sys.stderr)
+    else:
+        hub.tracer.to_jsonl(sys.stdout, **kwargs)
+    if args.metrics_out:
+        if args.metrics_out.endswith(".prom"):
+            with open(args.metrics_out, "w") as fh:
+                fh.write(hub.registry.to_prometheus())
+        else:
+            hub.registry.write_jsonl(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -234,6 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(args.command)
 
 

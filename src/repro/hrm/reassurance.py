@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.resources import ResourceVector
+from repro.obs.events import ReassuranceTransition
 from repro.workloads.spec import ServiceSpec
 
 from .qos import QoSDetector
@@ -77,6 +78,12 @@ class ReassuranceMechanism:
         #: bumped on every minima change so consumers (DSS-LC) can cache
         #: derived per-node values between adjustment passes.
         self.version = 0
+        #: observability bus; assigned by the runner, None when disabled.
+        self.bus = None
+        #: last known level per (node, service); only consulted when the
+        #: bus is attached, to publish level *transitions* rather than the
+        #: stable-state classification of every pass.
+        self._levels: Dict[Tuple[str, str], str] = {}
 
     # ------------------------------------------------------------------ #
     # state access
@@ -125,6 +132,20 @@ class ReassuranceMechanism:
                 elif level == LEVEL_EXCELLENT:
                     self._scale(node, spec, self.config.decrease_step)
                     changed += 1
+                if self.bus is not None:
+                    key = (node, name)
+                    previous = self._levels.get(key, LEVEL_STABLE)
+                    if level != previous:
+                        self._levels[key] = level
+                        self.bus.publish(
+                            ReassuranceTransition(
+                                time_ms=now_ms,
+                                node=node,
+                                service=name,
+                                previous=previous,
+                                level=level,
+                            )
+                        )
         return changed
 
     def _scale(self, node: str, spec: ServiceSpec, factor: float) -> None:

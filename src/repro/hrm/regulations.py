@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.cluster.node import AdmitDecision, RunningRequest, WorkerNode
 from repro.cluster.resources import ResourceVector
+from repro.obs.events import BESqueezed, DVPAResized, PreemptiveEviction
 from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
 
@@ -75,6 +76,8 @@ class HRMManager:
         self._dvpa: Dict[str, DVPA] = {}
         self.preemption_squeezes = 0
         self.preemption_evictions = 0
+        #: observability bus; assigned by the runner, None when disabled.
+        self.bus = None
 
     def dvpa_for(self, node_name: str) -> DVPA:
         if node_name not in self._dvpa:
@@ -108,12 +111,37 @@ class HRMManager:
                 if not demand.fits_in(free + freed_by_eviction):
                     return None
                 self.preemption_evictions += len(evicted)
+                if self.bus is not None:
+                    self.bus.publish(
+                        PreemptiveEviction(
+                            time_ms=now_ms,
+                            node=node.name,
+                            service=spec.name,
+                            victims=len(evicted),
+                        )
+                    )
             if freed > 0:
                 self.preemption_squeezes += 1
+                if self.bus is not None:
+                    self.bus.publish(
+                        BESqueezed(
+                            time_ms=now_ms, node=node.name, freed_cpu=freed
+                        )
+                    )
 
         overhead = 0.0
         if self.config.charge_dvpa_latency:
             overhead = self.dvpa_for(node.name).grow(spec.name, demand)
+            if overhead > 0 and self.bus is not None:
+                self.bus.publish(
+                    DVPAResized(
+                        time_ms=now_ms,
+                        node=node.name,
+                        service=spec.name,
+                        latency_ms=overhead,
+                        direction="grow",
+                    )
+                )
         return AdmitDecision(
             allocation=demand, overhead_ms=overhead, evicted=evicted or []
         )
@@ -122,7 +150,17 @@ class HRMManager:
         self, node: WorkerNode, running: RunningRequest, now_ms: float
     ) -> None:
         spec = running.request.spec
-        self.dvpa_for(node.name).release(spec.name, running.allocation)
+        shrink_ms = self.dvpa_for(node.name).release(spec.name, running.allocation)
+        if shrink_ms > 0 and self.bus is not None:
+            self.bus.publish(
+                DVPAResized(
+                    time_ms=now_ms,
+                    node=node.name,
+                    service=spec.name,
+                    latency_ms=shrink_ms,
+                    direction="shrink",
+                )
+            )
         if spec.is_lc:
             latency = running.request.total_latency_ms()
             if latency is not None:

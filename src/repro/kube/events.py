@@ -7,6 +7,13 @@ behaviour.  The substrate components emit the same stream through
 behaviours the paper introduces (D-VPA resizes, preemptive squeezes,
 incompressible evictions), making every experiment auditable after the
 fact.
+
+Since the observability subsystem landed, the recorder no longer sits on
+any hot path directly: when a run enables event recording the runner
+publishes typed events on the :class:`repro.obs.bus.EventBus` and a
+:class:`repro.obs.bridges.KubeEventBridge` renders them into this stream.
+Capacity and dedup window are surfaced as ``RunnerConfig.event_capacity``
+and ``RunnerConfig.event_dedup_window_ms``.
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ class Reason:
     QOS_ADJUSTED = "QoSAdjusted"
     NODE_DOWN = "NodeDown"
     NODE_RECOVERED = "NodeRecovered"
+    PARTITIONED = "WANPartition"
+    PARTITION_HEALED = "WANPartitionHealed"
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,302 @@
+"""Bridges re-homing the legacy telemetry sinks as bus subscribers.
+
+Before the bus existed the runner called three disconnected sinks
+directly: the kube :class:`EventRecorder` (audit stream), the
+:class:`PeriodCollector` (experiment metrics), and the stage profiler.
+Each bridge subscribes one of them to the typed event stream instead, so
+every sink sees the exact same call sequence it used to receive — the
+collector bridge in particular replays ``on_arrival`` / ``on_completion``
+/ ``on_abandon`` / ``on_eviction`` in publication order, which keeps run
+fingerprints bit-identical with observability on or off.
+"""
+
+from __future__ import annotations
+
+from repro.kube.events import EventRecorder, Reason
+from repro.metrics.collectors import PeriodCollector
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    BESqueezed,
+    DispatchRound,
+    DVPAResized,
+    NodeCrashed,
+    NodeRecovered,
+    PartitionHealed,
+    PartitionStarted,
+    PreemptiveEviction,
+    ReassuranceTransition,
+    RequestAbandoned,
+    RequestArrived,
+    RequestCompleted,
+    RequestDropped,
+    RequestEvicted,
+    RequestScheduled,
+)
+from repro.obs.metrics import MetricRegistry
+
+__all__ = ["CollectorBridge", "KubeEventBridge", "MetricsSubscriber"]
+
+
+class CollectorBridge:
+    """Feeds a :class:`PeriodCollector` from lifecycle events.
+
+    The collector remains the source of the run's :class:`RunMetrics`; the
+    bridge only changes *how* it is driven (publish → handler instead of a
+    direct method call at the same program point).
+    """
+
+    def __init__(self, collector: PeriodCollector, bus: EventBus) -> None:
+        self.collector = collector
+        bus.subscribe_many(
+            {
+                RequestArrived: self._on_arrived,
+                RequestCompleted: self._on_completed,
+                RequestAbandoned: self._on_abandoned,
+                RequestEvicted: self._on_evicted,
+            }
+        )
+
+    def _on_arrived(self, ev: RequestArrived) -> None:
+        self.collector.on_arrival(ev.request)
+
+    def _on_completed(self, ev: RequestCompleted) -> None:
+        self.collector.on_completion(ev.request)
+
+    def _on_abandoned(self, ev: RequestAbandoned) -> None:
+        self.collector.on_abandon(ev.request)
+
+    def _on_evicted(self, ev: RequestEvicted) -> None:
+        # Crash-displaced BE never hit the eviction counters in the direct
+        # path (only HRM preemptions do), so the bridge preserves that.
+        if ev.cause == "preemption":
+            self.collector.on_eviction(ev.request)
+
+
+class KubeEventBridge:
+    """Renders bus events into the kubectl-style audit stream."""
+
+    def __init__(self, recorder: EventRecorder, bus: EventBus) -> None:
+        self.recorder = recorder
+        bus.subscribe_many(
+            {
+                RequestScheduled: self._on_scheduled,
+                RequestEvicted: self._on_evicted,
+                RequestAbandoned: self._on_abandoned,
+                NodeCrashed: self._on_crashed,
+                NodeRecovered: self._on_recovered,
+                PartitionStarted: self._on_partition,
+                PartitionHealed: self._on_heal,
+                DVPAResized: self._on_dvpa,
+                BESqueezed: self._on_squeeze,
+                ReassuranceTransition: self._on_reassurance,
+            }
+        )
+
+    def _on_scheduled(self, ev: RequestScheduled) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.SCHEDULED,
+            f"req/{ev.request_id}",
+            f"{ev.service} -> {ev.node}",
+        )
+
+    def _on_evicted(self, ev: RequestEvicted) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.EVICTED,
+            f"req/{ev.request_id}",
+            f"{ev.service} preempted on {ev.node}",
+            type="Warning",
+        )
+
+    def _on_abandoned(self, ev: RequestAbandoned) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.FAILED_SCHEDULING,
+            f"req/{ev.request_id}",
+            f"{ev.service} abandoned past deadline",
+            type="Warning",
+        )
+
+    def _on_crashed(self, ev: NodeCrashed) -> None:
+        self.recorder.emit(
+            ev.time_ms, Reason.NODE_DOWN, f"node/{ev.node}", "crash",
+            type="Warning",
+        )
+
+    def _on_recovered(self, ev: NodeRecovered) -> None:
+        self.recorder.emit(
+            ev.time_ms, Reason.NODE_RECOVERED, f"node/{ev.node}", "recover",
+        )
+
+    def _on_partition(self, ev: PartitionStarted) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.PARTITIONED,
+            f"cluster/{ev.cluster_id}",
+            f"WAN partition for {ev.duration_ms:.0f} ms",
+            type="Warning",
+        )
+
+    def _on_heal(self, ev: PartitionHealed) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.PARTITION_HEALED,
+            f"cluster/{ev.cluster_id}",
+            "WAN partition healed",
+        )
+
+    def _on_dvpa(self, ev: DVPAResized) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.DVPA_RESIZED,
+            f"node/{ev.node}",
+            f"{ev.service} {ev.direction} ({ev.latency_ms:.1f} ms)",
+        )
+
+    def _on_squeeze(self, ev: BESqueezed) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.BE_SQUEEZED,
+            f"node/{ev.node}",
+            f"reclaimed {ev.freed_cpu:.2f} CPU from running BE",
+        )
+
+    def _on_reassurance(self, ev: ReassuranceTransition) -> None:
+        self.recorder.emit(
+            ev.time_ms,
+            Reason.QOS_ADJUSTED,
+            f"node/{ev.node}",
+            f"{ev.service}: {ev.previous} -> {ev.level}",
+        )
+
+
+class MetricsSubscriber:
+    """Folds bus events into registry counters/histograms.
+
+    Per-tick gauges (utilization, queue depths, slack) are pushed by the
+    hub's :meth:`~repro.obs.hub.ObservabilityHub.sample_period` instead —
+    they are point-in-time reads of system state, not event folds.
+    """
+
+    def __init__(self, registry: MetricRegistry, bus: EventBus) -> None:
+        r = registry
+        self.arrived = r.counter(
+            "requests_arrived_total", "requests injected, by kind"
+        )
+        self.completed = r.counter(
+            "requests_completed_total", "requests completed, by kind"
+        )
+        self.satisfied = r.counter(
+            "requests_satisfied_total", "completed LC requests meeting QoS"
+        )
+        self.abandoned = r.counter(
+            "requests_abandoned_total", "LC requests abandoned, by where"
+        )
+        self.evicted = r.counter(
+            "requests_evicted_total", "BE requests preempted off nodes"
+        )
+        self.dropped = r.counter(
+            "requests_dropped_total", "BE requests discarded past reschedule cap"
+        )
+        self.latency = r.histogram(
+            "lc_latency_ms", "end-to-end LC latency (completed requests)"
+        )
+        self.dispatch_rounds = r.counter(
+            "dispatch_rounds_total", "scheduler invocations, by scheduler"
+        )
+        self.dispatch_assigned = r.counter(
+            "dispatch_assigned_total", "requests placed, by scheduler"
+        )
+        self.flow_cost = r.counter(
+            "dispatch_flow_cost_ms_total", "summed MCMF objective (delay ms)"
+        )
+        self.crashes = r.counter("node_crashes_total", "worker crash events")
+        self.recoveries = r.counter(
+            "node_recoveries_total", "worker recovery events"
+        )
+        self.partitions = r.counter(
+            "wan_partitions_total", "WAN partition events"
+        )
+        self.heals = r.counter("wan_heals_total", "WAN partition heals")
+        self.dvpa = r.counter(
+            "dvpa_resizes_total", "D-VPA in-place resizes, by direction"
+        )
+        self.squeezes = r.counter(
+            "be_squeezes_total", "compressible-CPU squeezes of running BE"
+        )
+        self.preemptive_evictions = r.counter(
+            "preemptive_evictions_total", "incompressible-reclaim evictions"
+        )
+        self.reassurance = r.counter(
+            "reassurance_transitions_total",
+            "Algorithm 1 level transitions, by target level",
+        )
+        bus.subscribe_many(
+            {
+                RequestArrived: self._on_arrived,
+                RequestCompleted: self._on_completed,
+                RequestAbandoned: self._on_abandoned,
+                RequestEvicted: self._on_evicted,
+                RequestDropped: self._on_dropped,
+                DispatchRound: self._on_dispatch,
+                NodeCrashed: self._on_crashed,
+                NodeRecovered: self._on_recovered,
+                PartitionStarted: self._on_partition,
+                PartitionHealed: self._on_heal,
+                DVPAResized: self._on_dvpa,
+                BESqueezed: self._on_squeeze,
+                PreemptiveEviction: self._on_preemptive,
+                ReassuranceTransition: self._on_reassurance,
+            }
+        )
+
+    def _on_arrived(self, ev: RequestArrived) -> None:
+        self.arrived.inc(kind="lc" if ev.lc else "be")
+
+    def _on_completed(self, ev: RequestCompleted) -> None:
+        self.completed.inc(kind="lc" if ev.lc else "be")
+        if ev.lc:
+            self.latency.observe(ev.latency_ms, service=ev.service)
+            if ev.qos_met:
+                self.satisfied.inc(service=ev.service)
+
+    def _on_abandoned(self, ev: RequestAbandoned) -> None:
+        self.abandoned.inc(where=ev.where)
+
+    def _on_evicted(self, ev: RequestEvicted) -> None:
+        self.evicted.inc(cause=ev.cause)
+
+    def _on_dropped(self, ev: RequestDropped) -> None:
+        self.dropped.inc()
+
+    def _on_dispatch(self, ev: DispatchRound) -> None:
+        self.dispatch_rounds.inc(scheduler=ev.scheduler)
+        if ev.assigned:
+            self.dispatch_assigned.inc(ev.assigned, scheduler=ev.scheduler)
+        if ev.flow_cost_ms:
+            self.flow_cost.inc(ev.flow_cost_ms, scheduler=ev.scheduler)
+
+    def _on_crashed(self, ev: NodeCrashed) -> None:
+        self.crashes.inc()
+
+    def _on_recovered(self, ev: NodeRecovered) -> None:
+        self.recoveries.inc()
+
+    def _on_partition(self, ev: PartitionStarted) -> None:
+        self.partitions.inc()
+
+    def _on_heal(self, ev: PartitionHealed) -> None:
+        self.heals.inc()
+
+    def _on_dvpa(self, ev: DVPAResized) -> None:
+        self.dvpa.inc(direction=ev.direction)
+
+    def _on_squeeze(self, ev: BESqueezed) -> None:
+        self.squeezes.inc()
+
+    def _on_preemptive(self, ev: PreemptiveEviction) -> None:
+        self.preemptive_evictions.inc(ev.victims)
+
+    def _on_reassurance(self, ev: ReassuranceTransition) -> None:
+        self.reassurance.inc(to=ev.level)

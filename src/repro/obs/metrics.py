@@ -1,0 +1,272 @@
+"""Metric registry: counters, gauges, histograms; JSONL + Prometheus export.
+
+A deliberately small, dependency-free re-implementation of the useful core
+of ``prometheus_client``: named metrics with label sets, a registry, and
+two exporters —
+
+* :meth:`MetricRegistry.to_prometheus` renders the standard text
+  exposition format (``# HELP`` / ``# TYPE`` headers, ``{label="v"}``
+  sample lines, cumulative histogram buckets with ``+Inf``), so a run's
+  final state can be scraped into any Prometheus-compatible tooling;
+* :meth:`MetricRegistry.to_jsonl` emits one JSON object per sample for
+  ad-hoc analysis (``jq``/pandas), which is how ``python -m repro trace
+  --metrics-out`` persists a run.
+
+Metric mutation is plain dict arithmetic — cheap enough for per-event
+updates from the bus, and exactly reproducible run-over-run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "DEFAULT_BUCKETS"]
+
+#: default latency buckets (ms) — tuned to the catalog's 180–1500 ms targets.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(key)
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+class _Metric:
+    """Shared naming/validation for all metric types."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def samples(self) -> Iterable[Tuple[str, LabelKey, float]]:
+        """Yield (suffix, labels, value) triples."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally per label set."""
+
+    type_name = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        if labels:
+            return self._values.get(_label_key(labels), 0.0)
+        return sum(self._values.values())
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield "", key, self._values[key]
+
+
+class Gauge(_Metric):
+    """Point-in-time value, optionally per label set."""
+
+    type_name = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self):
+        for key in sorted(self._values):
+            yield "", key, self._values[key]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    type_name = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a sorted non-empty sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * len(self.buckets)
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        self._sums[key] += value
+        self._totals[key] += 1
+
+    def count(self, **labels: Any) -> int:
+        if labels:
+            return self._totals.get(_label_key(labels), 0)
+        return sum(self._totals.values())
+
+    def sum(self, **labels: Any) -> float:
+        if labels:
+            return self._sums.get(_label_key(labels), 0.0)
+        return sum(self._sums.values())
+
+    def samples(self):
+        for key in sorted(self._counts):
+            cumulative = 0
+            for bound, n in zip(self.buckets, self._counts[key]):
+                cumulative += n
+                yield "_bucket", key + (("le", _fmt(bound)),), float(cumulative)
+            yield "_bucket", key + (("le", "+Inf"),), float(self._totals[key])
+            yield "_sum", key, self._sums[key]
+            yield "_count", key, float(self._totals[key])
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+class MetricRegistry:
+    """Named metric store with get-or-create accessors and exporters."""
+
+    def __init__(self, prefix: str = "tango") -> None:
+        self.prefix = prefix
+        self._metrics: Dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(f"{name} already registered as {existing.type_name}")
+            return existing
+        metric = Histogram(name, help, buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, cls, name: str, help: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(f"{name} already registered as {existing.type_name}")
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def _full_name(self, metric: _Metric) -> str:
+        return f"{self.prefix}_{metric.name}" if self.prefix else metric.name
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            full = self._full_name(metric)
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            lines.append(f"# TYPE {full} {metric.type_name}")
+            for suffix, key, value in metric.samples():
+                lines.append(f"{full}{suffix}{_render_labels(key)} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_jsonl(self, fh: IO[str]) -> int:
+        """One JSON object per sample; returns the line count."""
+        written = 0
+        for name in self.names():
+            metric = self._metrics[name]
+            full = self._full_name(metric)
+            for suffix, key, value in metric.samples():
+                fh.write(
+                    json.dumps(
+                        {
+                            "metric": full + suffix,
+                            "type": metric.type_name,
+                            "labels": dict(key),
+                            "value": value,
+                        },
+                        sort_keys=True,
+                    )
+                )
+                fh.write("\n")
+                written += 1
+        return written
+
+    def write_jsonl(self, path: str) -> int:
+        with open(path, "w") as fh:
+            return self.to_jsonl(fh)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Nested {metric: {rendered-labels: value}} view for tests/REPL."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            series: Dict[str, float] = {}
+            for suffix, key, value in metric.samples():
+                series[f"{metric.name}{suffix}{_render_labels(key)}"] = value
+            out[name] = series
+        return out

@@ -1,0 +1,334 @@
+"""Request-lifecycle tracing: span trees built from bus events.
+
+The tracer subscribes to the request-lifecycle events and assembles, per
+request, an ordered span chain::
+
+    master_queue → schedule → ship → node_queue → execute → complete
+
+Evicted BE requests get an ``evict_requeue`` marker and a fresh
+``master_queue`` span per cycle, so a trace reads as the request's full
+history across reschedules.  The ``node_queue``/``execute`` boundary is
+recovered at completion time from the request's own ``started_ms`` stamp
+(worker admission is not separately evented — the node runtime stays
+uninstrumented), and the D-VPA allocation overhead is attached as a span
+attribute.
+
+Traces are bounded: once ``capacity`` traces exist, the oldest *finished*
+traces are dropped first (open traces are never evicted, so an in-flight
+request cannot lose its history mid-run).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    RequestAbandoned,
+    RequestArrived,
+    RequestCompleted,
+    RequestDelivered,
+    RequestDropped,
+    RequestEvicted,
+    RequestRequeued,
+    RequestScheduled,
+)
+
+__all__ = ["Span", "RequestTrace", "RequestTracer"]
+
+#: terminal trace statuses
+_TERMINAL = ("completed", "abandoned", "dropped")
+
+
+@dataclass
+class Span:
+    """One lifecycle stage; ``end_ms is None`` while the stage is open."""
+
+    name: str
+    start_ms: float
+    end_ms: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+            "attrs": self.attrs,
+        }
+
+
+@dataclass
+class RequestTrace:
+    """The span chain of one request across its whole lifecycle."""
+
+    request_id: int
+    service: str
+    lc: bool
+    origin_cluster: int
+    status: str = "open"
+    spans: List[Span] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in _TERMINAL
+
+    def span_names(self) -> List[str]:
+        return [s.name for s in self.spans]
+
+    def open_span(self) -> Optional[Span]:
+        if self.spans and self.spans[-1].end_ms is None:
+            return self.spans[-1]
+        return None
+
+    def total_ms(self) -> Optional[float]:
+        """Arrival → terminal duration, when the trace is finished."""
+        if not self.finished or not self.spans:
+            return None
+        last_end = max(
+            (s.end_ms for s in self.spans if s.end_ms is not None),
+            default=None,
+        )
+        if last_end is None:
+            return None
+        return last_end - self.spans[0].start_ms
+
+    def stage_durations(self) -> Dict[str, float]:
+        """Summed duration per span name (markers contribute zero)."""
+        out: Dict[str, float] = {}
+        for span in self.spans:
+            d = span.duration_ms
+            if d is not None:
+                out[span.name] = out.get(span.name, 0.0) + d
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "request_id": self.request_id,
+            "service": self.service,
+            "kind": "lc" if self.lc else "be",
+            "origin_cluster": self.origin_cluster,
+            "status": self.status,
+            "total_ms": self.total_ms(),
+            "spans": [s.to_dict() for s in self.spans],
+        }
+
+
+class RequestTracer:
+    """Builds :class:`RequestTrace` objects from bus events."""
+
+    def __init__(self, bus: EventBus, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: insertion-ordered so eviction drops the oldest finished first.
+        self._traces: "OrderedDict[int, RequestTrace]" = OrderedDict()
+        self.dropped_traces = 0
+        bus.subscribe_many(
+            {
+                RequestArrived: self._on_arrived,
+                RequestScheduled: self._on_scheduled,
+                RequestDelivered: self._on_delivered,
+                RequestCompleted: self._on_completed,
+                RequestAbandoned: self._on_abandoned,
+                RequestEvicted: self._on_evicted,
+                RequestRequeued: self._on_requeued,
+                RequestDropped: self._on_dropped,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _on_arrived(self, ev: RequestArrived) -> None:
+        trace = RequestTrace(
+            request_id=ev.request_id,
+            service=ev.service,
+            lc=ev.lc,
+            origin_cluster=ev.origin_cluster,
+        )
+        trace.spans.append(Span("master_queue", ev.time_ms))
+        self._traces[ev.request_id] = trace
+        if len(self._traces) > self.capacity:
+            self._evict_finished()
+
+    def _on_scheduled(self, ev: RequestScheduled) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span(
+                "schedule",
+                ev.time_ms,
+                ev.time_ms,
+                attrs={
+                    "node": ev.node,
+                    "cluster": ev.cluster_id,
+                    "cost_ms": ev.cost_ms,
+                    "scheduler": ev.scheduler,
+                },
+            )
+        )
+        trace.spans.append(
+            Span("ship", ev.time_ms, attrs={"delay_ms": ev.ship_delay_ms})
+        )
+
+    def _on_delivered(self, ev: RequestDelivered) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(Span("node_queue", ev.time_ms, attrs={"node": ev.node}))
+
+    def _on_completed(self, ev: RequestCompleted) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        request = ev.request
+        started = getattr(request, "started_ms", None)
+        open_span = trace.open_span()
+        if open_span is not None and open_span.name == "node_queue" and (
+            started is not None
+        ):
+            open_span.end_ms = max(started, open_span.start_ms)
+            overhead = getattr(request, "allocation_overhead_ms", 0.0)
+            if overhead:
+                open_span.attrs["allocation_overhead_ms"] = overhead
+            trace.spans.append(
+                Span("execute", open_span.end_ms, ev.time_ms,
+                     attrs={"node": ev.node})
+            )
+        else:  # degenerate path (no delivery seen): close whatever is open
+            self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span(
+                "complete",
+                ev.time_ms,
+                ev.time_ms,
+                attrs={"latency_ms": ev.latency_ms, "qos_met": ev.qos_met},
+            )
+        )
+        trace.status = "completed"
+
+    def _on_abandoned(self, ev: RequestAbandoned) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span("abandon", ev.time_ms, ev.time_ms, attrs={"where": ev.where})
+        )
+        trace.status = "abandoned"
+
+    def _on_evicted(self, ev: RequestEvicted) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span(
+                "evict_requeue",
+                ev.time_ms,
+                ev.time_ms,
+                attrs={"node": ev.node, "cause": ev.cause},
+            )
+        )
+
+    def _on_requeued(self, ev: RequestRequeued) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span(
+                "master_queue",
+                ev.time_ms,
+                attrs={"reschedules": ev.reschedules},
+            )
+        )
+
+    def _on_dropped(self, ev: RequestDropped) -> None:
+        trace = self._traces.get(ev.request_id)
+        if trace is None:
+            return
+        self._close_open(trace, ev.time_ms)
+        trace.spans.append(
+            Span(
+                "drop",
+                ev.time_ms,
+                ev.time_ms,
+                attrs={"reschedules": ev.reschedules},
+            )
+        )
+        trace.status = "dropped"
+
+    def _close_open(self, trace: RequestTrace, now_ms: float) -> None:
+        span = trace.open_span()
+        if span is not None:
+            span.end_ms = max(now_ms, span.start_ms)
+
+    def _evict_finished(self) -> None:
+        for rid in list(self._traces):
+            if len(self._traces) <= self.capacity:
+                break
+            if self._traces[rid].finished:
+                del self._traces[rid]
+                self.dropped_traces += 1
+
+    # ------------------------------------------------------------------ #
+    # queries + export
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def get(self, request_id: int) -> Optional[RequestTrace]:
+        return self._traces.get(request_id)
+
+    def traces(
+        self,
+        *,
+        status: Optional[str] = None,
+        service: Optional[str] = None,
+    ) -> List[RequestTrace]:
+        out: Iterable[RequestTrace] = self._traces.values()
+        if status is not None:
+            out = (t for t in out if t.status == status)
+        if service is not None:
+            out = (t for t in out if t.service == service)
+        return list(out)
+
+    def completed(self) -> List[RequestTrace]:
+        return self.traces(status="completed")
+
+    def to_jsonl(
+        self,
+        fh: IO[str],
+        *,
+        status: Optional[str] = None,
+        service: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> int:
+        """Write one JSON object per trace; returns the line count."""
+        written = 0
+        for trace in self.traces(status=status, service=service):
+            if limit is not None and written >= limit:
+                break
+            fh.write(json.dumps(trace.to_dict(), sort_keys=True))
+            fh.write("\n")
+            written += 1
+        return written
+
+    def write_jsonl(self, path: str, **kwargs) -> int:
+        with open(path, "w") as fh:
+            return self.to_jsonl(fh, **kwargs)

@@ -29,6 +29,9 @@ class Assignment:
     node_name: str
     #: cluster hosting the node (denormalised for delay lookup).
     cluster_id: int
+    #: flow-edge cost the decision paid (one-way delay, ms); carried so the
+    #: observability layer can attach the MCMF cost to the schedule span.
+    cost_ms: float = 0.0
 
 
 class LCScheduler(Protocol):

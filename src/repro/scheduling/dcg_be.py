@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.state_storage import NodeSnapshot, SystemSnapshot
 from repro.nn.a2c import A2CAgent, A2CConfig, Transition
 from repro.nn.gnn import GraphEncoder, GraphSAGEEncoder
+from repro.obs.events import DispatchRound
 from repro.sim.request import ServiceRequest
 
 from .base import Assignment
@@ -121,6 +122,8 @@ class DCGBEScheduler:
         self._completion_mass = 0.0
         self.decisions = 0
         self.requeues = 0
+        #: observability bus; assigned by the runner, None when disabled.
+        self.bus = None
         #: per-snapshot static state: (snapshot, adj, clamped totals, and
         #: the feature columns that cannot change within one snapshot).
         #: Pinning the snapshot reference keys the cache by identity.
@@ -192,6 +195,9 @@ class DCGBEScheduler:
                     request=request,
                     node_name=node.name,
                     cluster_id=node.cluster_id,
+                    cost_ms=snapshot.delay_ms[snapshot.central_cluster_id][
+                        node.cluster_id
+                    ],
                 )
             )
             self.decisions += 1
@@ -216,6 +222,17 @@ class DCGBEScheduler:
                         reward=reward,
                     )
                 )
+        if self.bus is not None:
+            self.bus.publish(
+                DispatchRound(
+                    time_ms=now_ms,
+                    scheduler="dcg-be",
+                    origin_cluster=snapshot.central_cluster_id,
+                    offered=len(requests),
+                    assigned=len(out),
+                    flow_cost_ms=float(sum(a.cost_ms for a in out)),
+                )
+            )
         return out
 
     # ------------------------------------------------------------------ #

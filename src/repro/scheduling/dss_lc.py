@@ -34,6 +34,7 @@ from repro.core.state_storage import NodeSnapshot, SystemSnapshot
 from repro.flow.graph import AssignmentResult, SupplyDemandGraph, solve_transport
 from repro.flow.mcmf import MinCostMaxFlow
 from repro.hrm.reassurance import ReassuranceMechanism
+from repro.obs.events import DispatchRound
 from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
 
@@ -89,6 +90,10 @@ class DSSLCScheduler:
         )
         self.decision_latencies_ms: List[float] = []
         self.case2_rounds = 0
+        #: observability bus; assigned by the runner, None when disabled.
+        self.bus = None
+        #: MCMF objective accumulated across the current round's solves.
+        self._flow_cost_round = 0.0
         #: one solver arena per (origin master, request type): graph shape
         #: is stable across ticks for a given pair, so the flat flow arrays
         #: are recycled instead of reallocated every dispatch round.
@@ -116,6 +121,8 @@ class DSSLCScheduler:
         if not requests:
             return []
         start = time.perf_counter()
+        case2_before = self.case2_rounds
+        self._flow_cost_round = 0.0
         assignments: List[Assignment] = []
         nodes = snapshot.nodes_of(list(eligible_clusters))
         if nodes:
@@ -133,9 +140,21 @@ class DSSLCScheduler:
                             origin_cluster, reqs, nodes, snapshot
                         )
                     )
-        self.decision_latencies_ms.append(
-            (time.perf_counter() - start) * 1000.0
-        )
+        decision_ms = (time.perf_counter() - start) * 1000.0
+        self.decision_latencies_ms.append(decision_ms)
+        if self.bus is not None:
+            self.bus.publish(
+                DispatchRound(
+                    time_ms=now_ms,
+                    scheduler="dss-lc",
+                    origin_cluster=origin_cluster,
+                    offered=len(requests),
+                    assigned=len(assignments),
+                    flow_cost_ms=self._flow_cost_round,
+                    decision_ms=decision_ms,
+                    case2=self.case2_rounds > case2_before,
+                )
+            )
         return assignments
 
     # ------------------------------------------------------------------ #
@@ -241,6 +260,7 @@ class DSSLCScheduler:
             cursor = 0
             for (src, dst), flow in sorted(result.flows[service].items()):
                 node = nodes[dst - 1]
+                delay = snapshot.delay_ms[origin_cluster][node.cluster_id]
                 for _ in range(flow):
                     if cursor >= len(reqs):
                         break
@@ -249,8 +269,10 @@ class DSSLCScheduler:
                             request=reqs[cursor],
                             node_name=node.name,
                             cluster_id=node.cluster_id,
+                            cost_ms=delay,
                         )
                     )
+                    self._flow_cost_round += delay
                     cursor += 1
             # overflow the joint solve could not place follows the case-2
             # queued path (Ĝ'_k over total resources, Eq. 7-8) — critically,
@@ -403,11 +425,13 @@ class DSSLCScheduler:
             arena=arena,
             reuse_potentials=self.config.reuse_potentials,
         )
+        self._flow_cost_round += result.total_delay_ms
 
         assignments: List[Assignment] = []
         cursor = 0
         for j, count in sorted(result.absorbed.items()):
             node = nodes[j - 1]
+            delay = snapshot.delay_ms[origin_cluster][node.cluster_id]
             for _ in range(count):
                 if cursor >= len(requests):
                     break
@@ -416,6 +440,7 @@ class DSSLCScheduler:
                         request=requests[cursor],
                         node_name=node.name,
                         cluster_id=node.cluster_id,
+                        cost_ms=delay,
                     )
                 )
                 cursor += 1

@@ -24,6 +24,12 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
+from repro.obs.events import (
+    NodeCrashed,
+    NodeRecovered,
+    PartitionHealed,
+    PartitionStarted,
+)
 from repro.sim.request import RequestState, ServiceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import avoided to keep the package
@@ -67,6 +73,8 @@ class FailureInjector:
         self._next_crash_ms = self._draw(self.config.node_mtbf_ms, 0.0)
         self._next_partition_ms = self._draw(self.config.partition_mtbf_ms, 0.0)
         self.events: List[FailureEvent] = []
+        #: observability bus; assigned by the runner, None when disabled.
+        self.bus = None
 
     def _draw(self, mtbf: Optional[float], now_ms: float) -> float:
         if mtbf is None:
@@ -97,9 +105,13 @@ class FailureInjector:
         for name in [n for n, t in self._down_nodes.items() if now_ms >= t]:
             del self._down_nodes[name]
             self.events.append(FailureEvent(now_ms, "recover", name))
+            if self.bus is not None:
+                self.bus.publish(NodeRecovered(time_ms=now_ms, node=name))
         for cid in [c for c, t in self._partitioned.items() if now_ms >= t]:
             del self._partitioned[cid]
             self.events.append(FailureEvent(now_ms, "heal", f"cluster-{cid}"))
+            if self.bus is not None:
+                self.bus.publish(PartitionHealed(time_ms=now_ms, cluster_id=cid))
 
         # new crash
         if now_ms >= self._next_crash_ms:
@@ -121,6 +133,14 @@ class FailureInjector:
                 self.events.append(
                     FailureEvent(now_ms, "partition", f"cluster-{cid}")
                 )
+                if self.bus is not None:
+                    self.bus.publish(
+                        PartitionStarted(
+                            time_ms=now_ms,
+                            cluster_id=cid,
+                            duration_ms=self.config.partition_duration_ms,
+                        )
+                    )
         return displaced
 
     def _pick_up_node(self):
@@ -134,6 +154,16 @@ class FailureInjector:
     def _crash(self, worker, now_ms: float) -> List[ServiceRequest]:
         self._down_nodes[worker.name] = now_ms + self.config.node_downtime_ms
         self.events.append(FailureEvent(now_ms, "crash", worker.name))
+        if self.bus is not None:
+            self.bus.publish(
+                NodeCrashed(
+                    time_ms=now_ms,
+                    node=worker.name,
+                    displaced=len(worker.running)
+                    + len(worker._lc_queue)
+                    + len(worker._be_queue),
+                )
+            )
         displaced: List[ServiceRequest] = []
         # running requests lose all state
         for rr in list(worker.running.values()):

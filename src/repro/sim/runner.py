@@ -24,7 +24,17 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.topology import EdgeCloudSystem
 from repro.core.state_storage import StateStorage
-from repro.kube.events import EventRecorder, Reason
+from repro.kube.events import EventRecorder
+from repro.obs.events import (
+    RequestAbandoned,
+    RequestArrived,
+    RequestCompleted,
+    RequestDelivered,
+    RequestDropped,
+    RequestEvicted,
+    RequestRequeued,
+    RequestScheduled,
+)
 from repro.sim.failures import FailureConfig, FailureInjector
 from repro.hrm.reassurance import ReassuranceMechanism
 from repro.metrics.collectors import PERIOD_MS, PeriodCollector, RunMetrics
@@ -50,6 +60,16 @@ class RunnerConfig:
     failures: Optional[FailureConfig] = None
     #: record a kubectl-get-events-style audit stream (small overhead).
     record_events: bool = False
+    #: kube event recorder bounds (only read when ``record_events``).
+    event_capacity: int = 1000
+    event_dedup_window_ms: float = 1_000.0
+    #: enable the unified observability subsystem (:mod:`repro.obs`):
+    #: lifecycle events on a bus, request span traces, metric registry.
+    observe: bool = False
+    #: event-bus ring size (retrospective queries; publishes never block).
+    obs_ring_capacity: int = 4096
+    #: max traces held in memory (oldest finished evicted first).
+    trace_capacity: int = 100_000
     #: run the invariant checker every tick (a few % overhead; CI uses it).
     validate: bool = False
     #: time each pipeline stage with :class:`repro.perf.StageProfiler`
@@ -105,14 +125,62 @@ class SimulationRunner:
         self._worker_list: List = []
         self._active: set = set()
         self._idle_skip_ok = False
-        self.events: Optional[EventRecorder] = (
-            EventRecorder() if self.config.record_events else None
-        )
+        # --- observability ------------------------------------------------
+        # The hub exists when anything consumes events (tracing/metrics via
+        # ``observe``, or the kube audit stream via ``record_events``).
+        # When it does, the runner publishes typed events INSTEAD of calling
+        # the sinks directly and bridges replay the identical call sequence,
+        # so run fingerprints match the direct path bit for bit.
+        self.hub = None
+        self.bus = None
+        self.events: Optional[EventRecorder] = None
+        if self.config.observe or self.config.record_events:
+            from repro.obs.hub import ObservabilityHub
+
+            self.hub = ObservabilityHub(
+                ring_capacity=self.config.obs_ring_capacity,
+                trace=self.config.observe,
+                metrics=self.config.observe,
+                trace_capacity=self.config.trace_capacity,
+            )
+            self.bus = self.hub.bus
+            self.hub.attach_collector(self.collector)
+            if self.config.record_events:
+                self.events = EventRecorder(
+                    capacity=self.config.event_capacity,
+                    dedup_window_ms=self.config.event_dedup_window_ms,
+                )
+                self.hub.attach_recorder(self.events)
+        self._wire_publishers()
+        self._lc_label = type(lc_scheduler).__name__
+        self._be_label = type(be_scheduler).__name__
         self.checker = None
         if self.config.validate:
             from repro.sim.validation import InvariantChecker
 
             self.checker = InvariantChecker(system)
+
+    def _wire_publishers(self) -> None:
+        """Hand the bus to every publisher (or reset it to None).
+
+        Schedulers, managers, and the re-assurance mechanism are owned by
+        the system builder and reused across runs, so the bus reference is
+        always (re)assigned — a disabled run must not inherit a previous
+        run's bus.
+        """
+        bus = self.bus
+        self.lc_scheduler.bus = bus
+        self.be_scheduler.bus = bus
+        if self.reassurance is not None:
+            self.reassurance.bus = bus
+        if self.injector is not None:
+            self.injector.bus = bus
+        seen = set()
+        for node in self.system.all_workers():
+            manager = node.manager
+            if manager is not None and id(manager) not in seen:
+                seen.add(id(manager))
+                manager.bus = bus
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -121,6 +189,7 @@ class SimulationRunner:
         cfg = self.config
         n_ticks = int(cfg.duration_ms / cfg.tick_ms)
         self._init_active_set()
+        sample_gauges = self.hub is not None and cfg.observe
         prof = self.profiler
         if prof is None:
             for _ in range(n_ticks):
@@ -135,7 +204,8 @@ class SimulationRunner:
                 self._run_reassurance(now)
                 if self.checker is not None:
                     self.checker.check(now, self.collector.metrics)
-                self.collector.maybe_sample(now + cfg.tick_ms)
+                if self.collector.maybe_sample(now + cfg.tick_ms) and sample_gauges:
+                    self._sample_gauges(now + cfg.tick_ms)
                 self.clock.advance()
         else:
             for _ in range(n_ticks):
@@ -168,10 +238,23 @@ class SimulationRunner:
                 t = prof.start()
                 if self.checker is not None:
                     self.checker.check(now, self.collector.metrics)
-                self.collector.maybe_sample(now + cfg.tick_ms)
+                if self.collector.maybe_sample(now + cfg.tick_ms) and sample_gauges:
+                    self._sample_gauges(now + cfg.tick_ms)
                 prof.stop("metrics", t)
                 self.clock.advance()
+        if self.hub is not None and prof is not None:
+            self.hub.record_stage_totals(self.clock.now_ms, prof.stage_ms())
         return self.collector.metrics
+
+    def _sample_gauges(self, now_ms: float) -> None:
+        """Push per-period gauges right after the collector closed a period."""
+        self.hub.sample_period(
+            now_ms,
+            self.system,
+            self.collector,
+            detector=self.storage.detector,
+            specs=list(self.catalog.values()),
+        )
 
     def _init_active_set(self) -> None:
         """Prepare active-set stepping for this run.
@@ -210,7 +293,19 @@ class SimulationRunner:
                 arrival_ms=record.time_ms,
             )
             self.system.cluster(cluster_id).receive(request)
-            self.collector.on_arrival(request)
+            if self.bus is None:
+                self.collector.on_arrival(request)
+            else:
+                self.bus.publish(
+                    RequestArrived(
+                        time_ms=record.time_ms,
+                        request_id=request.request_id,
+                        service=spec.name,
+                        lc=request.is_lc,
+                        origin_cluster=cluster_id,
+                        request=request,
+                    )
+                )
 
     # ------------------------------------------------------------------ #
     # failures
@@ -225,30 +320,52 @@ class SimulationRunner:
     def _apply_failures(self, now_ms: float) -> None:
         if self.injector is None:
             return
+        # crash/recover/partition/heal events are published by the injector
+        # itself (it holds the bus); the kube bridge renders them.
         displaced = self.injector.apply(now_ms)
-        if self.events is not None:
-            for ev in self.injector.events:
-                if ev.time_ms >= now_ms - self.config.tick_ms:
-                    reason = (
-                        Reason.NODE_DOWN if ev.kind == "crash"
-                        else Reason.NODE_RECOVERED if ev.kind == "recover"
-                        else ev.kind
-                    )
-                    self.events.emit(
-                        now_ms, reason, f"node/{ev.target}", ev.kind,
-                        type="Warning" if ev.kind == "crash" else "Normal",
-                    )
         for request in displaced:
             if request.state is RequestState.ABANDONED:
                 # LC running on the crashed node when it went down: the
                 # injector marked it abandoned; fold it into the abandon
                 # counters exactly like a queue-patience drop.
                 self.crash_abandoned += 1
-                self.collector.on_abandon(request)
+                if self.bus is None:
+                    self.collector.on_abandon(request)
+                else:
+                    self.bus.publish(
+                        RequestAbandoned(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            service=request.spec.name,
+                            where="crash",
+                            request=request,
+                        )
+                    )
             elif request.is_lc:
                 # queued LC survives the crash: back to its origin master.
                 self.system.cluster(request.origin_cluster).receive(request)
+                if self.bus is not None:
+                    self.bus.publish(
+                        RequestRequeued(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            origin_cluster=request.origin_cluster,
+                            reschedules=request.reschedules,
+                            request=request,
+                        )
+                    )
             else:
+                if self.bus is not None:
+                    self.bus.publish(
+                        RequestEvicted(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            service=request.spec.name,
+                            node=request.target_node or "",
+                            cause="crash",
+                            request=request,
+                        )
+                    )
                 self._requeue_evicted(request, now_ms)
 
     # ------------------------------------------------------------------ #
@@ -336,12 +453,22 @@ class SimulationRunner:
         request.network_delay_ms += delay
         request.dispatched_ms = now_ms
         request.state = RequestState.IN_FLIGHT
-        if self.events is not None:
-            self.events.emit(
-                now_ms,
-                Reason.SCHEDULED,
-                f"req/{request.request_id}",
-                f"{request.spec.name} -> {assignment.node_name}",
+        if self.bus is not None:
+            self.bus.publish(
+                RequestScheduled(
+                    time_ms=now_ms,
+                    request_id=request.request_id,
+                    service=request.spec.name,
+                    origin_cluster=request.origin_cluster,
+                    node=assignment.node_name,
+                    cluster_id=assignment.cluster_id,
+                    cost_ms=assignment.cost_ms,
+                    ship_delay_ms=delay,
+                    scheduler=(
+                        self._lc_label if request.is_lc else self._be_label
+                    ),
+                    request=request,
+                )
             )
         self._deliveries.schedule(
             now_ms + delay, (request, assignment.cluster_id, assignment.node_name)
@@ -352,6 +479,15 @@ class SimulationRunner:
             node = self.system.cluster(cluster_id).worker(node_name)
             node.enqueue(request, now_ms)
             self._active.add(node)
+            if self.bus is not None:
+                self.bus.publish(
+                    RequestDelivered(
+                        time_ms=now_ms,
+                        request_id=request.request_id,
+                        node=node_name,
+                        request=request,
+                    )
+                )
 
     # ------------------------------------------------------------------ #
     # node execution
@@ -380,8 +516,23 @@ class SimulationRunner:
                 active.discard(node)
             if not (completed or evicted or abandoned):
                 continue
+            bus = self.bus
             for request in completed:
-                self.collector.on_completion(request)
+                if bus is None:
+                    self.collector.on_completion(request)
+                else:
+                    bus.publish(
+                        RequestCompleted(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            service=request.spec.name,
+                            lc=request.is_lc,
+                            node=node.name,
+                            latency_ms=request.total_latency_ms() or 0.0,
+                            qos_met=bool(request.qos_met()),
+                            request=request,
+                        )
+                    )
                 if not request.is_lc and hasattr(
                     self.be_scheduler, "note_completion"
                 ):
@@ -389,36 +540,67 @@ class SimulationRunner:
                         request, node.capacity.cpu, node.capacity.memory
                     )
             for request in evicted:
-                self.collector.on_eviction(request)
-                self._requeue_evicted(request, now_ms)
-                if self.events is not None:
-                    self.events.emit(
-                        now_ms,
-                        Reason.EVICTED,
-                        f"req/{request.request_id}",
-                        f"{request.spec.name} preempted on {node.name}",
-                        type="Warning",
+                if bus is None:
+                    self.collector.on_eviction(request)
+                else:
+                    bus.publish(
+                        RequestEvicted(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            service=request.spec.name,
+                            node=node.name,
+                            cause="preemption",
+                            request=request,
+                        )
                     )
+                self._requeue_evicted(request, now_ms)
             for request in abandoned:
-                self.collector.on_abandon(request)
-                if self.events is not None:
-                    self.events.emit(
-                        now_ms,
-                        Reason.FAILED_SCHEDULING,
-                        f"req/{request.request_id}",
-                        f"{request.spec.name} abandoned past deadline",
-                        type="Warning",
+                if bus is None:
+                    self.collector.on_abandon(request)
+                else:
+                    bus.publish(
+                        RequestAbandoned(
+                            time_ms=now_ms,
+                            request_id=request.request_id,
+                            service=request.spec.name,
+                            where="node-queue",
+                            request=request,
+                        )
                     )
 
     def _requeue_evicted(self, request: ServiceRequest, now_ms: float) -> None:
         if not self.config.requeue_evicted_be:
             self.dropped_be += 1
+            self._publish_drop(request, now_ms)
             return
         request.reschedules += 1
         if request.reschedules > self.config.max_be_reschedules:
             self.dropped_be += 1
+            self._publish_drop(request, now_ms)
             return
         self.system.cluster(request.origin_cluster).receive(request)
+        if self.bus is not None:
+            self.bus.publish(
+                RequestRequeued(
+                    time_ms=now_ms,
+                    request_id=request.request_id,
+                    origin_cluster=request.origin_cluster,
+                    reschedules=request.reschedules,
+                    request=request,
+                )
+            )
+
+    def _publish_drop(self, request: ServiceRequest, now_ms: float) -> None:
+        if self.bus is not None:
+            self.bus.publish(
+                RequestDropped(
+                    time_ms=now_ms,
+                    request_id=request.request_id,
+                    service=request.spec.name,
+                    reschedules=request.reschedules,
+                    request=request,
+                )
+            )
 
     # ------------------------------------------------------------------ #
     # HRM adjustment pass

@@ -1,0 +1,133 @@
+"""Unit tests for the observability event bus (repro.obs.bus)."""
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    NodeCrashed,
+    RequestArrived,
+    RequestCompleted,
+    RequestScheduled,
+)
+
+
+def arrived(i, t=0.0):
+    return RequestArrived(time_ms=t, request_id=i, service="svc", lc=True)
+
+
+class TestSubscription:
+    def test_typed_handler_sees_only_its_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(RequestArrived, seen.append)
+        bus.publish(arrived(1))
+        bus.publish(NodeCrashed(time_ms=1.0, node="w0"))
+        assert [e.request_id for e in seen] == [1]
+
+    def test_wildcard_handler_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        bus.publish(arrived(1))
+        bus.publish(NodeCrashed(time_ms=1.0, node="w0"))
+        assert [e.kind for e in seen] == ["request.arrived", "failure.node_crashed"]
+
+    def test_dispatch_order_is_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(RequestArrived, lambda e: order.append("first"))
+        bus.subscribe(RequestArrived, lambda e: order.append("second"))
+        bus.subscribe(None, lambda e: order.append("wildcard"))
+        bus.publish(arrived(1))
+        # typed handlers run before wildcards, each in subscription order
+        assert order == ["first", "second", "wildcard"]
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(RequestArrived, seen.append)
+        bus.publish(arrived(1))
+        bus.unsubscribe(RequestArrived, handler)
+        bus.publish(arrived(2))
+        assert len(seen) == 1
+
+    def test_subscribe_many(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_many(
+            {RequestArrived: seen.append, RequestCompleted: seen.append}
+        )
+        bus.publish(arrived(1))
+        bus.publish(RequestCompleted(time_ms=1.0, request_id=1))
+        assert len(seen) == 2
+
+    def test_late_subscription_invalidates_dispatch_cache(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe(RequestArrived, first.append)
+        bus.publish(arrived(1))  # caches the handler tuple
+        bus.subscribe(RequestArrived, second.append)
+        bus.publish(arrived(2))
+        assert len(first) == 2 and len(second) == 1
+
+
+class TestRingAndCounts:
+    def test_ring_bounded_but_counts_are_not(self):
+        bus = EventBus(capacity=4)
+        for i in range(10):
+            bus.publish(arrived(i))
+        assert len(bus.events()) == 4
+        assert [e.request_id for e in bus.events()] == [6, 7, 8, 9]
+        assert bus.count(RequestArrived) == 10
+        assert bus.count("request.arrived") == 10
+        assert bus.published == 10
+
+    def test_events_filtered_by_class(self):
+        bus = EventBus()
+        bus.publish(arrived(1))
+        bus.publish(NodeCrashed(time_ms=1.0, node="w0"))
+        assert len(bus.events(NodeCrashed)) == 1
+        assert len(bus.events(RequestArrived, NodeCrashed)) == 2
+
+    def test_tail(self):
+        bus = EventBus()
+        for i in range(5):
+            bus.publish(arrived(i))
+        assert [e.request_id for e in bus.tail(2)] == [3, 4]
+        assert bus.tail(0) == []
+
+    def test_clear_keeps_subscriptions(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(RequestArrived, seen.append)
+        bus.publish(arrived(1))
+        bus.clear()
+        assert bus.published == 0 and bus.events() == []
+        bus.publish(arrived(2))
+        assert len(seen) == 2
+
+    def test_counts_snapshot(self):
+        bus = EventBus()
+        bus.publish(arrived(1))
+        bus.publish(arrived(2))
+        assert bus.counts() == {"request.arrived": 2}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+
+class TestEventToDict:
+    def test_to_dict_excludes_request_reference(self):
+        ev = RequestScheduled(
+            time_ms=5.0, request_id=3, service="svc", node="w1",
+            cost_ms=12.5, request=object(),
+        )
+        d = ev.to_dict()
+        assert d["kind"] == "request.scheduled"
+        assert d["cost_ms"] == 12.5
+        assert "request" not in d
+
+    def test_kind_is_class_level(self):
+        assert RequestArrived.kind == "request.arrived"
+        assert NodeCrashed.kind == "failure.node_crashed"

@@ -1,0 +1,189 @@
+"""Unit tests for the metric registry and its exporters (repro.obs.metrics)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(2.0)
+        assert c.value() == 3.0
+
+    def test_labels_are_independent_series(self):
+        c = Counter("reqs")
+        c.inc(kind="lc")
+        c.inc(kind="lc")
+        c.inc(kind="be")
+        assert c.value(kind="lc") == 2.0
+        assert c.value(kind="be") == 1.0
+        assert c.value() == 3.0  # unlabelled read sums all series
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("reqs").inc(-1.0)
+
+    def test_label_order_does_not_matter(self):
+        c = Counter("reqs")
+        c.inc(a="1", b="2")
+        c.inc(b="2", a="1")
+        assert c.value(b="2", a="1") == 2.0
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("util")
+        g.set(0.4)
+        g.set(0.7)
+        assert g.value() == 0.7
+
+    def test_inc_accumulates(self):
+        g = Gauge("depth")
+        g.inc(3.0, node="w0")
+        g.inc(-1.0, node="w0")
+        assert g.value(node="w0") == 2.0
+
+
+class TestHistogram:
+    def test_count_sum_and_bucket_placement(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        for v in (5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == 555.0
+        samples = list(h.samples())
+        # cumulative buckets: le=10 → 1, le=100 → 2, le=+Inf → 3
+        by_le = {dict(key)["le"]: value for suffix, key, value in samples
+                 if suffix == "_bucket"}
+        assert by_le == {"10": 1.0, "100": 2.0, "+Inf": 3.0}
+
+    def test_boundary_value_falls_in_lower_bucket(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        h.observe(10.0)  # le is inclusive, Prometheus semantics
+        by_le = {dict(key)["le"]: value for suffix, key, value in h.samples()
+                 if suffix == "_bucket"}
+        assert by_le["10"] == 1.0
+
+    def test_per_label_series(self):
+        h = Histogram("lat")
+        h.observe(30.0, service="a")
+        h.observe(30.0, service="b")
+        assert h.count(service="a") == 1
+        assert h.count() == 2
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(100.0, 10.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricRegistry()
+        a = reg.counter("reqs")
+        b = reg.counter("reqs")
+        assert a is b
+
+    def test_type_collision_raises(self):
+        reg = MetricRegistry()
+        reg.counter("reqs")
+        with pytest.raises(TypeError):
+            reg.gauge("reqs")
+        with pytest.raises(TypeError):
+            reg.histogram("reqs")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("bad name!")
+
+    def test_names_sorted(self):
+        reg = MetricRegistry()
+        reg.gauge("zz")
+        reg.counter("aa")
+        assert reg.names() == ["aa", "zz"]
+
+
+class TestPrometheusExport:
+    def test_text_format(self):
+        reg = MetricRegistry(prefix="tango")
+        reg.counter("requests_total", help="total requests").inc(5, kind="lc")
+        reg.gauge("utilization").set(0.5)
+        text = reg.to_prometheus()
+        lines = text.splitlines()
+        assert "# HELP tango_requests_total total requests" in lines
+        assert "# TYPE tango_requests_total counter" in lines
+        assert 'tango_requests_total{kind="lc"} 5' in lines
+        assert "# TYPE tango_utilization gauge" in lines
+        assert "tango_utilization 0.5" in lines
+        assert text.endswith("\n")
+
+    def test_histogram_exposition_is_cumulative_with_inf(self):
+        reg = MetricRegistry(prefix="t")
+        h = reg.histogram("lat_ms", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        h.observe(50.0)
+        lines = reg.to_prometheus().splitlines()
+        assert 't_lat_ms_bucket{le="10"} 1' in lines
+        assert 't_lat_ms_bucket{le="100"} 2' in lines
+        assert 't_lat_ms_bucket{le="+Inf"} 2' in lines
+        assert "t_lat_ms_sum 55" in lines
+        assert "t_lat_ms_count 2" in lines
+
+    def test_every_sample_line_parses(self):
+        """Sample lines must be `name{labels} value` with a float value."""
+        reg = MetricRegistry()
+        reg.counter("c").inc(kind="lc", node="w0")
+        reg.histogram("h").observe(42.0, service="s")
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            if value_part == "+Inf":
+                continue
+            float(value_part)  # must not raise
+            assert name_part[0].isalpha()
+
+    def test_empty_prefix(self):
+        reg = MetricRegistry(prefix="")
+        reg.counter("c").inc()
+        assert "c 1" in reg.to_prometheus().splitlines()
+
+
+class TestJsonlExport:
+    def test_one_object_per_sample(self):
+        reg = MetricRegistry(prefix="tango")
+        reg.counter("reqs").inc(3, kind="lc")
+        reg.gauge("util").set(0.25)
+        buf = io.StringIO()
+        written = reg.to_jsonl(buf)
+        rows = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert written == len(rows) == 2
+        by_metric = {r["metric"]: r for r in rows}
+        assert by_metric["tango_reqs"]["value"] == 3.0
+        assert by_metric["tango_reqs"]["labels"] == {"kind": "lc"}
+        assert by_metric["tango_util"]["type"] == "gauge"
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        reg = MetricRegistry()
+        reg.counter("c").inc()
+        path = tmp_path / "m.jsonl"
+        assert reg.write_jsonl(str(path)) == 1
+        assert json.loads(path.read_text())["metric"] == "tango_c"
+
+    def test_as_dict_view(self):
+        reg = MetricRegistry()
+        reg.counter("c").inc(2, kind="be")
+        assert reg.as_dict() == {"c": {'c{kind="be"}': 2.0}}

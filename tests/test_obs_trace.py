@@ -1,0 +1,201 @@
+"""Unit tests for the request tracer: span assembly from synthetic events."""
+
+import io
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.bus import EventBus
+from repro.obs.events import (
+    RequestAbandoned,
+    RequestArrived,
+    RequestCompleted,
+    RequestDelivered,
+    RequestDropped,
+    RequestEvicted,
+    RequestRequeued,
+    RequestScheduled,
+)
+from repro.obs.tracing import RequestTracer
+
+
+def make_tracer(capacity=100_000):
+    bus = EventBus()
+    return bus, RequestTracer(bus, capacity=capacity)
+
+
+def publish_lifecycle(bus, rid=1, *, started_ms=30.0, overhead_ms=0.0):
+    """Publish a full arrival → completion sequence for one request."""
+    bus.publish(RequestArrived(time_ms=0.0, request_id=rid, service="svc",
+                               lc=True, origin_cluster=2))
+    bus.publish(RequestScheduled(
+        time_ms=10.0, request_id=rid, service="svc", origin_cluster=2,
+        node="w1", cluster_id=0, cost_ms=4.0, ship_delay_ms=5.0,
+        scheduler="dss-lc",
+    ))
+    bus.publish(RequestDelivered(time_ms=15.0, request_id=rid, node="w1"))
+    request = SimpleNamespace(
+        started_ms=started_ms, allocation_overhead_ms=overhead_ms
+    )
+    bus.publish(RequestCompleted(
+        time_ms=80.0, request_id=rid, service="svc", lc=True, node="w1",
+        latency_ms=80.0, qos_met=True, request=request,
+    ))
+
+
+class TestSpanAssembly:
+    def test_full_chain(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus)
+        trace = tracer.get(1)
+        assert trace.status == "completed"
+        assert trace.span_names() == [
+            "master_queue", "schedule", "ship", "node_queue", "execute",
+            "complete",
+        ]
+        # every span closed, chain is contiguous in time
+        assert all(s.end_ms is not None for s in trace.spans)
+        assert trace.total_ms() == 80.0
+
+    def test_queue_execute_boundary_from_started_ms(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus, started_ms=30.0)
+        trace = tracer.get(1)
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["node_queue"].end_ms == 30.0
+        assert by_name["execute"].start_ms == 30.0
+        assert by_name["execute"].end_ms == 80.0
+
+    def test_allocation_overhead_attached(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus, overhead_ms=7.5)
+        trace = tracer.get(1)
+        by_name = {s.name: s for s in trace.spans}
+        assert by_name["node_queue"].attrs["allocation_overhead_ms"] == 7.5
+
+    def test_schedule_span_carries_decision_attrs(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus)
+        sched = next(s for s in tracer.get(1).spans if s.name == "schedule")
+        assert sched.attrs == {
+            "node": "w1", "cluster": 0, "cost_ms": 4.0, "scheduler": "dss-lc",
+        }
+
+    def test_started_before_delivery_is_clamped(self):
+        """A stale started_ms can't make node_queue run backwards."""
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus, started_ms=5.0)  # before delivery at 15.0
+        by_name = {s.name: s for s in tracer.get(1).spans}
+        assert by_name["node_queue"].end_ms == 15.0
+
+    def test_abandon(self):
+        bus, tracer = make_tracer()
+        bus.publish(RequestArrived(time_ms=0.0, request_id=1, service="svc"))
+        bus.publish(RequestAbandoned(time_ms=40.0, request_id=1,
+                                     service="svc", where="crash"))
+        trace = tracer.get(1)
+        assert trace.status == "abandoned"
+        assert trace.span_names() == ["master_queue", "abandon"]
+        assert trace.spans[-1].attrs["where"] == "crash"
+        assert trace.total_ms() == 40.0
+
+    def test_evict_requeue_cycle(self):
+        """An evicted BE request gets a marker plus a fresh master_queue."""
+        bus, tracer = make_tracer()
+        bus.publish(RequestArrived(time_ms=0.0, request_id=1, service="be",
+                                   lc=False))
+        bus.publish(RequestScheduled(time_ms=5.0, request_id=1, node="w0"))
+        bus.publish(RequestDelivered(time_ms=8.0, request_id=1, node="w0"))
+        bus.publish(RequestEvicted(time_ms=20.0, request_id=1, node="w0",
+                                   cause="preemption"))
+        bus.publish(RequestRequeued(time_ms=25.0, request_id=1,
+                                    reschedules=1))
+        trace = tracer.get(1)
+        assert trace.status == "open"
+        assert trace.span_names() == [
+            "master_queue", "schedule", "ship", "node_queue",
+            "evict_requeue", "master_queue",
+        ]
+        assert trace.spans[-1].end_ms is None  # back in the queue, open
+        assert trace.spans[-1].attrs["reschedules"] == 1
+
+    def test_drop_terminates(self):
+        bus, tracer = make_tracer()
+        bus.publish(RequestArrived(time_ms=0.0, request_id=1, service="be",
+                                   lc=False))
+        bus.publish(RequestDropped(time_ms=9.0, request_id=1, service="be",
+                                   reschedules=3))
+        assert tracer.get(1).status == "dropped"
+
+    def test_unknown_request_events_ignored(self):
+        bus, tracer = make_tracer()
+        bus.publish(RequestCompleted(time_ms=1.0, request_id=99))
+        bus.publish(RequestScheduled(time_ms=1.0, request_id=99))
+        assert len(tracer) == 0
+
+
+class TestEvictionAndQueries:
+    def test_oldest_finished_evicted_first(self):
+        bus, tracer = make_tracer(capacity=3)
+        publish_lifecycle(bus, rid=1)
+        publish_lifecycle(bus, rid=2)
+        # rid=3 stays open
+        bus.publish(RequestArrived(time_ms=0.0, request_id=3, service="svc"))
+        publish_lifecycle(bus, rid=4)  # over capacity → evict oldest finished
+        assert tracer.get(1) is None
+        assert tracer.get(2) is not None
+        assert tracer.get(3) is not None
+        assert tracer.dropped_traces == 1
+
+    def test_open_traces_never_evicted(self):
+        bus, tracer = make_tracer(capacity=2)
+        for rid in (1, 2, 3):
+            bus.publish(RequestArrived(time_ms=0.0, request_id=rid,
+                                       service="svc"))
+        assert len(tracer) == 3  # all open → nothing evictable
+        assert tracer.dropped_traces == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RequestTracer(EventBus(), capacity=0)
+
+    def test_status_and_service_filters(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus, rid=1)
+        bus.publish(RequestArrived(time_ms=0.0, request_id=2, service="other"))
+        assert len(tracer.completed()) == 1
+        assert len(tracer.traces(status="open")) == 1
+        assert tracer.traces(service="other")[0].request_id == 2
+
+    def test_stage_durations(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus, started_ms=30.0)
+        durations = tracer.get(1).stage_durations()
+        assert durations["master_queue"] == 10.0
+        assert durations["ship"] == 5.0
+        assert durations["node_queue"] == 15.0
+        assert durations["execute"] == 50.0
+
+
+class TestJsonl:
+    def test_jsonl_shape(self):
+        bus, tracer = make_tracer()
+        publish_lifecycle(bus)
+        buf = io.StringIO()
+        assert tracer.to_jsonl(buf) == 1
+        row = json.loads(buf.getvalue())
+        assert row["request_id"] == 1
+        assert row["status"] == "completed"
+        assert row["kind"] == "lc"
+        assert [s["name"] for s in row["spans"]] == [
+            "master_queue", "schedule", "ship", "node_queue", "execute",
+            "complete",
+        ]
+
+    def test_limit(self):
+        bus, tracer = make_tracer()
+        for rid in (1, 2, 3):
+            publish_lifecycle(bus, rid=rid)
+        buf = io.StringIO()
+        assert tracer.to_jsonl(buf, limit=2) == 2
