@@ -50,6 +50,21 @@ def main() -> int:
     print(f"measured: {result['wall_s']:.2f}s wall, {tps:.1f} ticks/sec")
 
     status = 0
+    # the profiled run must break down into the canonical pipeline stages
+    # (no injector in the benchmark workload, so "failures" is absent);
+    # a missing key means a stage was renamed or silently dropped.
+    expected_stages = {
+        "arrivals", "refresh", "lc", "be", "deliver", "step",
+        "reassure", "metrics",
+    }
+    stage_keys = set(result.get("stage_ms", {}))
+    if not expected_stages.issubset(stage_keys):
+        print(
+            f"FAIL: profiled stages {sorted(stage_keys)} missing "
+            f"{sorted(expected_stages - stage_keys)}",
+            file=sys.stderr,
+        )
+        status = 1
     before = None
     if recorded is not None:
         before = recorded.get("before")

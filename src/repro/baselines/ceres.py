@@ -50,6 +50,15 @@ class CeresManager:
         self._last_control_ms: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {"last_control_ms": self._last_control_ms}
+
+    def restore_state(self, state: Dict) -> None:
+        self._last_control_ms = state["last_control_ms"]
+
+    # ------------------------------------------------------------------ #
     # ResourceManager interface
     # ------------------------------------------------------------------ #
     def admit(

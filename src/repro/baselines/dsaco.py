@@ -70,6 +70,21 @@ class DSACOScheduler:
         self._prev: Optional[tuple] = None
 
     # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> dict:
+        return {
+            "agent": self.agent,
+            "decisions": self.decisions,
+            "prev": self._prev,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.agent = state["agent"]
+        self.decisions = state["decisions"]
+        self._prev = state["prev"]
+
+    # ------------------------------------------------------------------ #
     # shared dispatch core
     # ------------------------------------------------------------------ #
     def _dispatch(

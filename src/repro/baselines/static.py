@@ -55,6 +55,15 @@ class StaticPartitionManager:
         return node.capacity * share
 
     # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {"state": self._state}
+
+    def restore_state(self, state: Dict) -> None:
+        self._state = state["state"]
+
+    # ------------------------------------------------------------------ #
     # ResourceManager interface
     # ------------------------------------------------------------------ #
     def admit(

@@ -36,6 +36,21 @@ Commands
         python -m repro trace --stack tango --duration 10
         python -m repro trace --status completed --limit 50 --out traces.jsonl
         python -m repro trace --metrics-out metrics.prom   # Prometheus text
+
+``checkpoint``
+    Run one stack up to ``--at`` seconds, then freeze the full simulation
+    state (every stateful layer) into a pickle that also records how to
+    rebuild the system and trace::
+
+        python -m repro checkpoint --stack tango --at 5 --out tango.ckpt
+
+``resume``
+    Rebuild the system and trace recorded in a checkpoint, restore the
+    frozen state, and run to the configured duration.  The resumed run's
+    metrics are bit-identical to an uninterrupted run::
+
+        python -m repro resume tango.ckpt
+        python -m repro resume tango.ckpt --out resumed.json
 """
 
 from __future__ import annotations
@@ -151,6 +166,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the metric registry here (.prom → Prometheus "
         "text exposition format, anything else → JSONL samples)",
     )
+
+    ckpt = sub.add_parser(
+        "checkpoint", help="run up to a point and freeze the full sim state"
+    )
+    _common_run_args(ckpt)
+    ckpt.add_argument(
+        "--stack", choices=sorted(_STACKS), default="tango",
+        help="which system to assemble",
+    )
+    ckpt.add_argument(
+        "--at", type=float, required=True,
+        help="checkpoint time (seconds into the run)",
+    )
+    ckpt.add_argument(
+        "--out", required=True, help="write the checkpoint pickle here"
+    )
+
+    resume = sub.add_parser(
+        "resume", help="resume a checkpointed run to completion"
+    )
+    resume.add_argument("checkpoint", help="checkpoint file written by "
+                        "`repro checkpoint`")
+    resume.add_argument("--out", help="write metrics JSON here")
     return parser
 
 
@@ -300,6 +338,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.sim.checkpoint import save_checkpoint
+
+    system = _build_system(args.stack, args)
+    trace = _build_trace(args)
+    system.run(trace, until_ms=args.at * 1000.0)
+    checkpoint = system.last_runner.checkpoint()
+    # record how to rebuild an identical system + trace on resume
+    checkpoint.meta.update(
+        stack=args.stack,
+        clusters=args.clusters,
+        workers=args.workers,
+        duration=args.duration,
+        lc_rps=args.lc_rps,
+        be_rps=args.be_rps,
+        seed=args.seed,
+    )
+    path = save_checkpoint(checkpoint, args.out)
+    print(
+        f"checkpoint at t={checkpoint.meta['now_ms']:.0f}ms "
+        f"({args.stack}, seed {args.seed}) written to {path}"
+    )
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.sim.checkpoint import load_checkpoint
+
+    checkpoint = load_checkpoint(args.checkpoint)
+    meta = checkpoint.meta
+    required = {"stack", "clusters", "workers", "duration",
+                "lc_rps", "be_rps", "seed"}
+    missing = sorted(required - set(meta))
+    if missing:
+        print(
+            f"{args.checkpoint}: no rebuild metadata ({missing}); "
+            "resume programmatically via SimulationRunner.from_checkpoint",
+            file=sys.stderr,
+        )
+        return 2
+    build = argparse.Namespace(
+        clusters=meta["clusters"],
+        workers=meta["workers"],
+        duration=meta["duration"],
+        lc_rps=meta["lc_rps"],
+        be_rps=meta["be_rps"],
+        seed=meta["seed"],
+    )
+    system = _build_system(meta["stack"], build)
+    trace = _build_trace(build)
+    metrics = system.resume(trace, checkpoint)
+    print(
+        f"resumed {meta['stack']} from t={meta.get('now_ms', 0.0):.0f}ms "
+        f"to t={build.duration * 1000.0:.0f}ms"
+    )
+    for key, value in metrics.summary().items():
+        print(f"{key:24s} {value:.4f}")
+    if args.out:
+        path = save_metrics(metrics, args.out)
+        print(f"\nmetrics written to {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
@@ -312,6 +413,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
     raise AssertionError(args.command)
 
 

@@ -85,6 +85,16 @@ class EdgeCloudCluster:
     def queue_lengths(self) -> Dict[str, int]:
         return {"lc": len(self.lc_queue), "be": len(self.be_queue)}
 
+    # ------------------------------------------------------------------ #
+    # Checkpointable (master queues only; workers snapshot themselves)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {"lc_queue": self.lc_queue, "be_queue": self.be_queue}
+
+    def restore_state(self, state: Dict) -> None:
+        self.lc_queue = state["lc_queue"]
+        self.be_queue = state["be_queue"]
+
 
 def make_heterogeneous_workers(
     cluster_id: int,

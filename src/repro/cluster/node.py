@@ -321,6 +321,32 @@ class WorkerNode:
         return dropped
 
     # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """Live mutable state; capacity/latency-model/manager are wiring."""
+        return {
+            "lc_queue": self._lc_queue,
+            "be_queue": self._be_queue,
+            "running": self.running,
+            "allocated": self._allocated,
+            "snapshot_dirty": self.snapshot_dirty,
+            "completed_count": self.completed_count,
+            "evicted_count": self.evicted_count,
+            "busy_cpu_ms": self.busy_cpu_ms,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._lc_queue = state["lc_queue"]
+        self._be_queue = state["be_queue"]
+        self.running = state["running"]
+        self._allocated = state["allocated"]
+        self.snapshot_dirty = state["snapshot_dirty"]
+        self.completed_count = state["completed_count"]
+        self.evicted_count = state["evicted_count"]
+        self.busy_cpu_ms = state["busy_cpu_ms"]
+
+    # ------------------------------------------------------------------ #
     # views for schedulers (the X_i^k attributes of §5.2.1)
     # ------------------------------------------------------------------ #
     def running_be(self) -> List[RunningRequest]:

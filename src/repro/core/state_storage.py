@@ -182,3 +182,22 @@ class StateStorage:
     @property
     def current(self) -> Optional[SystemSnapshot]:
         return self._snapshot
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """Refresh phase is behaviorally observable (snapshot staleness is
+        an intentional fidelity point), so the current snapshot, its
+        timestamp, and the per-worker cache are all part of the state —
+        restore must *not* force a refresh."""
+        return {
+            "snapshot": self._snapshot,
+            "last_refresh_ms": self._last_refresh_ms,
+            "node_cache": self._node_cache,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._snapshot = state["snapshot"]
+        self._last_refresh_ms = state["last_refresh_ms"]
+        self._node_cache = state["node_cache"]

@@ -55,6 +55,17 @@ class _BEAdapter:
     def dispatch_be(self, requests, snapshot, now_ms):
         return self._inner.dispatch_be(requests, snapshot, now_ms)
 
+    # -- Checkpointable (delegate to the wrapped scheduler) ------------ #
+    def snapshot_state(self):
+        from repro.sim.checkpoint import component_state
+
+        return {"inner": component_state(self._inner)}
+
+    def restore_state(self, state) -> None:
+        from repro.sim.checkpoint import restore_component
+
+        restore_component(self._inner, state["inner"])
+
 
 class TangoSystem:
     """One experimental deployment: topology + policies + managers."""
@@ -156,7 +167,7 @@ class TangoSystem:
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def run(self, trace: Sequence[TraceRecord]) -> RunMetrics:
+    def _build_runner(self, trace: Sequence[TraceRecord]) -> SimulationRunner:
         runner = SimulationRunner(
             self.system,
             trace,
@@ -168,4 +179,24 @@ class TangoSystem:
             reassurance=self.reassurance,
         )
         self.last_runner = runner
+        return runner
+
+    def run(
+        self, trace: Sequence[TraceRecord], until_ms: Optional[float] = None
+    ) -> RunMetrics:
+        """Run the simulation (optionally only up to ``until_ms``).
+
+        The runner stays reachable as ``self.last_runner``; after a partial
+        run, call ``last_runner.checkpoint()`` to freeze the state and
+        ``last_runner.run()`` to continue to the configured duration.
+        """
+        return self._build_runner(trace).run(until_ms=until_ms)
+
+    def resume(self, trace: Sequence[TraceRecord], checkpoint) -> RunMetrics:
+        """Resume a checkpointed run to completion on a freshly built
+        system.  The system, config, and trace must match the ones the
+        checkpoint was taken from; the resumed run's RunMetrics are
+        bit-identical to a straight run of the same configuration."""
+        runner = self._build_runner(trace)
+        runner.restore(checkpoint)
         return runner.run()

@@ -121,3 +121,20 @@ class QoSDetector:
             if s is not None:
                 scores.append(s)
         return min(scores) if scores else 1.0
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """``_node_services`` insertion order decides ``node_min_slack``'s
+        scan order, so it is state, not a rebuildable index."""
+        return {
+            "samples": self._samples,
+            "node_services": self._node_services,
+            "tail_cache": self._tail_cache,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._samples = state["samples"]
+        self._node_services = state["node_services"]
+        self._tail_cache = state["tail_cache"]

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.resources import ResourceVector
-from repro.obs.events import ReassuranceTransition
+from repro.obs.emitter import NULL_EMITTER
 from repro.workloads.spec import ServiceSpec
 
 from .qos import QoSDetector
@@ -78,10 +78,13 @@ class ReassuranceMechanism:
         #: bumped on every minima change so consumers (DSS-LC) can cache
         #: derived per-node values between adjustment passes.
         self.version = 0
-        #: observability bus; assigned by the runner, None when disabled.
+        #: observability bus; assigned by the runner, None when disabled
+        #: (kept for introspection — emissions go through the emitter).
         self.bus = None
-        #: last known level per (node, service); only consulted when the
-        #: bus is attached, to publish level *transitions* rather than the
+        #: lifecycle emitter; rewired by the runner, null when standalone.
+        self.emitter = NULL_EMITTER
+        #: last known level per (node, service); only maintained when the
+        #: emitter is live, to publish level *transitions* rather than the
         #: stable-state classification of every pass.
         self._levels: Dict[Tuple[str, str], str] = {}
 
@@ -132,19 +135,13 @@ class ReassuranceMechanism:
                 elif level == LEVEL_EXCELLENT:
                     self._scale(node, spec, self.config.decrease_step)
                     changed += 1
-                if self.bus is not None:
+                if self.emitter.enabled:
                     key = (node, name)
                     previous = self._levels.get(key, LEVEL_STABLE)
                     if level != previous:
                         self._levels[key] = level
-                        self.bus.publish(
-                            ReassuranceTransition(
-                                time_ms=now_ms,
-                                node=node,
-                                service=name,
-                                previous=previous,
-                                level=level,
-                            )
+                        self.emitter.reassurance_transition(
+                            now_ms, node, name, previous, level
                         )
         return changed
 
@@ -165,3 +162,22 @@ class ReassuranceMechanism:
         else:
             for key in [k for k in self._min_resources if k[0] == node]:
                 del self._min_resources[key]
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {
+            "min_resources": self._min_resources,
+            "last_run_ms": self._last_run_ms,
+            "adjustments": self.adjustments,
+            "version": self.version,
+            "levels": self._levels,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._min_resources = state["min_resources"]
+        self._last_run_ms = state["last_run_ms"]
+        self.adjustments = state["adjustments"]
+        self.version = state["version"]
+        self._levels = state["levels"]

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.cluster.node import AdmitDecision, RunningRequest, WorkerNode
 from repro.cluster.resources import ResourceVector
-from repro.obs.events import BESqueezed, DVPAResized, PreemptiveEviction
+from repro.obs.emitter import NULL_EMITTER
 from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
 
@@ -76,8 +76,11 @@ class HRMManager:
         self._dvpa: Dict[str, DVPA] = {}
         self.preemption_squeezes = 0
         self.preemption_evictions = 0
-        #: observability bus; assigned by the runner, None when disabled.
+        #: observability bus; assigned by the runner, None when disabled
+        #: (kept for introspection — emissions go through the emitter).
         self.bus = None
+        #: lifecycle emitter; rewired by the runner, null when standalone.
+        self.emitter = NULL_EMITTER
 
     def dvpa_for(self, node_name: str) -> DVPA:
         if node_name not in self._dvpa:
@@ -111,36 +114,19 @@ class HRMManager:
                 if not demand.fits_in(free + freed_by_eviction):
                     return None
                 self.preemption_evictions += len(evicted)
-                if self.bus is not None:
-                    self.bus.publish(
-                        PreemptiveEviction(
-                            time_ms=now_ms,
-                            node=node.name,
-                            service=spec.name,
-                            victims=len(evicted),
-                        )
-                    )
+                self.emitter.preemptive_eviction(
+                    now_ms, node.name, spec.name, len(evicted)
+                )
             if freed > 0:
                 self.preemption_squeezes += 1
-                if self.bus is not None:
-                    self.bus.publish(
-                        BESqueezed(
-                            time_ms=now_ms, node=node.name, freed_cpu=freed
-                        )
-                    )
+                self.emitter.be_squeezed(now_ms, node.name, freed)
 
         overhead = 0.0
         if self.config.charge_dvpa_latency:
             overhead = self.dvpa_for(node.name).grow(spec.name, demand)
-            if overhead > 0 and self.bus is not None:
-                self.bus.publish(
-                    DVPAResized(
-                        time_ms=now_ms,
-                        node=node.name,
-                        service=spec.name,
-                        latency_ms=overhead,
-                        direction="grow",
-                    )
+            if overhead > 0:
+                self.emitter.dvpa_resized(
+                    now_ms, node.name, spec.name, overhead, "grow"
                 )
         return AdmitDecision(
             allocation=demand, overhead_ms=overhead, evicted=evicted or []
@@ -151,15 +137,9 @@ class HRMManager:
     ) -> None:
         spec = running.request.spec
         shrink_ms = self.dvpa_for(node.name).release(spec.name, running.allocation)
-        if shrink_ms > 0 and self.bus is not None:
-            self.bus.publish(
-                DVPAResized(
-                    time_ms=now_ms,
-                    node=node.name,
-                    service=spec.name,
-                    latency_ms=shrink_ms,
-                    direction="shrink",
-                )
+        if shrink_ms > 0:
+            self.emitter.dvpa_resized(
+                now_ms, node.name, spec.name, shrink_ms, "shrink"
             )
         if spec.is_lc:
             latency = running.request.total_latency_ms()
@@ -204,6 +184,23 @@ class HRMManager:
                 disk=rr.allocation.disk,
             )
             node.adjust_running_allocation(rr, new_alloc)
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """D-VPA trees (pods, cgroup hierarchies, scale stats) go whole;
+        the shared detector/re-assurance are snapshotted by the runner."""
+        return {
+            "dvpa": self._dvpa,
+            "preemption_squeezes": self.preemption_squeezes,
+            "preemption_evictions": self.preemption_evictions,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self._dvpa = state["dvpa"]
+        self.preemption_squeezes = state["preemption_squeezes"]
+        self.preemption_evictions = state["preemption_evictions"]
 
     # ------------------------------------------------------------------ #
     # internals

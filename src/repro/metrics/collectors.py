@@ -51,6 +51,10 @@ class RunMetrics:
     be_arrivals_per_period: List[int] = field(default_factory=list)
     qos_rate_per_period: List[float] = field(default_factory=list)
     be_completed_per_period: List[int] = field(default_factory=list)
+    #: trace records whose cluster id fell outside the topology and were
+    #: folded back with ``cluster_id % n_clusters`` (bad trace rows are
+    #: counted, not silently remapped).
+    trace_remapped: int = 0
 
     # ------------------------------------------------------------------ #
     # headline numbers
@@ -175,6 +179,30 @@ class PeriodCollector:
         self._period_lc_satisfied = 0
         self._period_be_completed = 0
         return True
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """Full metrics plus the open (partial) period's counters."""
+        return {
+            "metrics": self.metrics,
+            "period_lc_arrivals": self._period_lc_arrivals,
+            "period_be_arrivals": self._period_be_arrivals,
+            "period_lc_completed": self._period_lc_completed,
+            "period_lc_satisfied": self._period_lc_satisfied,
+            "period_be_completed": self._period_be_completed,
+            "next_sample_ms": self._next_sample_ms,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.metrics = state["metrics"]
+        self._period_lc_arrivals = state["period_lc_arrivals"]
+        self._period_be_arrivals = state["period_be_arrivals"]
+        self._period_lc_completed = state["period_lc_completed"]
+        self._period_lc_satisfied = state["period_lc_satisfied"]
+        self._period_be_completed = state["period_be_completed"]
+        self._next_sample_ms = state["next_sample_ms"]
 
     def _utilization_by_kind(self) -> tuple:
         lc_parts, be_parts = [], []

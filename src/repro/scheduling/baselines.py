@@ -47,6 +47,13 @@ class LoadGreedyScheduler:
     def __init__(self) -> None:
         self.dispatched = 0
 
+    # -- Checkpointable ------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {"dispatched": self.dispatched}
+
+    def restore_state(self, state: Dict) -> None:
+        self.dispatched = state["dispatched"]
+
     @staticmethod
     def _load(node: NodeSnapshot, extra_queue: int) -> float:
         cpu_used = 1.0 - node.cpu_available / max(node.cpu_total, 1e-9)
@@ -104,6 +111,13 @@ class K8sNativeScheduler:
 
     def __init__(self) -> None:
         self._cursors: Dict[str, int] = {}
+
+    # -- Checkpointable ------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        return {"cursors": self._cursors}
+
+    def restore_state(self, state: Dict) -> None:
+        self._cursors = state["cursors"]
 
     def _dispatch(
         self,

@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.state_storage import NodeSnapshot, SystemSnapshot
 from repro.nn.a2c import A2CAgent, A2CConfig, Transition
 from repro.nn.gnn import GraphEncoder, GraphSAGEEncoder
-from repro.obs.events import DispatchRound
+from repro.obs.emitter import NULL_EMITTER
 from repro.sim.request import ServiceRequest
 
 from .base import Assignment
@@ -122,8 +122,11 @@ class DCGBEScheduler:
         self._completion_mass = 0.0
         self.decisions = 0
         self.requeues = 0
-        #: observability bus; assigned by the runner, None when disabled.
+        #: observability bus; assigned by the runner, None when disabled
+        #: (kept for introspection — emissions go through the emitter).
         self.bus = None
+        #: lifecycle emitter; rewired by the runner, null when standalone.
+        self.emitter = NULL_EMITTER
         #: per-snapshot static state: (snapshot, adj, clamped totals, and
         #: the feature columns that cannot change within one snapshot).
         #: Pinning the snapshot reference keys the cache by identity.
@@ -222,18 +225,36 @@ class DCGBEScheduler:
                         reward=reward,
                     )
                 )
-        if self.bus is not None:
-            self.bus.publish(
-                DispatchRound(
-                    time_ms=now_ms,
-                    scheduler="dcg-be",
-                    origin_cluster=snapshot.central_cluster_id,
-                    offered=len(requests),
-                    assigned=len(out),
-                    flow_cost_ms=float(sum(a.cost_ms for a in out)),
-                )
-            )
+        self.emitter.dispatch_round(
+            now_ms,
+            "dcg-be",
+            snapshot.central_cluster_id,
+            len(requests),
+            len(out),
+            float(sum(a.cost_ms for a in out)),
+        )
         return out
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """The whole learning agent travels: encoder/actor/critic params,
+        optimizer moments (aliasing to the params is preserved by the
+        runner's single-memo deepcopy), replay buffer, and RNG."""
+        return {
+            "agent": self.agent,
+            "completion_mass": self._completion_mass,
+            "decisions": self.decisions,
+            "requeues": self.requeues,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.agent = state["agent"]
+        self._completion_mass = state["completion_mass"]
+        self.decisions = state["decisions"]
+        self.requeues = state["requeues"]
+        self._static_cache = None
 
     # ------------------------------------------------------------------ #
     # state + reward construction

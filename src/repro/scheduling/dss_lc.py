@@ -34,7 +34,7 @@ from repro.core.state_storage import NodeSnapshot, SystemSnapshot
 from repro.flow.graph import AssignmentResult, SupplyDemandGraph, solve_transport
 from repro.flow.mcmf import MinCostMaxFlow
 from repro.hrm.reassurance import ReassuranceMechanism
-from repro.obs.events import DispatchRound
+from repro.obs.emitter import NULL_EMITTER
 from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
 
@@ -90,8 +90,11 @@ class DSSLCScheduler:
         )
         self.decision_latencies_ms: List[float] = []
         self.case2_rounds = 0
-        #: observability bus; assigned by the runner, None when disabled.
+        #: observability bus; assigned by the runner, None when disabled
+        #: (kept for introspection — emissions go through the emitter).
         self.bus = None
+        #: lifecycle emitter; rewired by the runner, null when standalone.
+        self.emitter = NULL_EMITTER
         #: MCMF objective accumulated across the current round's solves.
         self._flow_cost_round = 0.0
         #: one solver arena per (origin master, request type): graph shape
@@ -142,19 +145,16 @@ class DSSLCScheduler:
                     )
         decision_ms = (time.perf_counter() - start) * 1000.0
         self.decision_latencies_ms.append(decision_ms)
-        if self.bus is not None:
-            self.bus.publish(
-                DispatchRound(
-                    time_ms=now_ms,
-                    scheduler="dss-lc",
-                    origin_cluster=origin_cluster,
-                    offered=len(requests),
-                    assigned=len(assignments),
-                    flow_cost_ms=self._flow_cost_round,
-                    decision_ms=decision_ms,
-                    case2=self.case2_rounds > case2_before,
-                )
-            )
+        self.emitter.dispatch_round(
+            now_ms,
+            "dss-lc",
+            origin_cluster,
+            len(requests),
+            len(assignments),
+            self._flow_cost_round,
+            decision_ms=decision_ms,
+            case2=self.case2_rounds > case2_before,
+        )
         return assignments
 
     # ------------------------------------------------------------------ #
@@ -453,6 +453,35 @@ class DSSLCScheduler:
         if not self.decision_latencies_ms:
             return 0.0
         return float(np.mean(self.decision_latencies_ms))
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """RNG positions and counters.  Solver arenas and the id()-keyed
+        snapshot caches are pure accelerators (self-invalidating via ``is``
+        checks) and are rebuilt, not restored."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "priority_rng": (
+                self.priority.rng.bit_generator.state
+                if hasattr(self.priority, "rng")
+                else None
+            ),
+            "decision_latencies_ms": self.decision_latencies_ms,
+            "case2_rounds": self.case2_rounds,
+            "flow_cost_round": self._flow_cost_round,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        if state["priority_rng"] is not None and hasattr(self.priority, "rng"):
+            self.priority.rng.bit_generator.state = state["priority_rng"]
+        self.decision_latencies_ms = state["decision_latencies_ms"]
+        self.case2_rounds = state["case2_rounds"]
+        self._flow_cost_round = state["flow_cost_round"]
+        self._minima_cache.clear()
+        self._node_array_cache.clear()
 
     def solver_stats(self) -> Dict[str, float]:
         """Aggregate counters across all pooled solver arenas."""

@@ -52,6 +52,16 @@ class GNNSACScheduler(DCGBEScheduler):
         self.requeues = 0
         self._prev: Optional[tuple] = None  # (features, adj, mask, action, reward)
 
+    # -- Checkpointable ------------------------------------------------ #
+    def snapshot_state(self):
+        state = super().snapshot_state()
+        state["prev"] = self._prev
+        return state
+
+    def restore_state(self, state) -> None:
+        super().restore_state(state)
+        self._prev = state["prev"]
+
     def dispatch_be(
         self,
         requests: Sequence[ServiceRequest],

@@ -10,9 +10,8 @@ across the network: a dispatch decision schedules a future delivery at
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = ["TICK_MS", "Clock", "DeliveryQueue"]
 
@@ -37,16 +36,30 @@ class Clock:
         self.tick_count += 1
         return self.now_ms
 
+    # -- Checkpointable ------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"now_ms": self.now_ms, "tick_count": self.tick_count}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.now_ms = state["now_ms"]
+        self.tick_count = state["tick_count"]
+
 
 class DeliveryQueue:
-    """Priority queue of (due_time, payload) in-flight items."""
+    """Priority queue of (due_time, payload) in-flight items.
+
+    The FIFO tiebreak counter is a plain int (not ``itertools.count``) so
+    the queue can be checkpointed: insertion order of same-due items is
+    observable through delivery order.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Any]] = []
-        self._counter = itertools.count()
+        self._counter = 0
 
     def schedule(self, due_ms: float, payload: Any) -> None:
-        heapq.heappush(self._heap, (due_ms, next(self._counter), payload))
+        heapq.heappush(self._heap, (due_ms, self._counter, payload))
+        self._counter += 1
 
     def pop_due(self, now_ms: float) -> List[Any]:
         due: List[Any] = []
@@ -59,3 +72,11 @@ class DeliveryQueue:
 
     def peek_next_ms(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
+
+    # -- Checkpointable ------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"heap": self._heap, "counter": self._counter}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._heap = state["heap"]
+        self._counter = state["counter"]

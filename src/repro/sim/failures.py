@@ -24,12 +24,7 @@ import numpy as np
 
 from typing import TYPE_CHECKING
 
-from repro.obs.events import (
-    NodeCrashed,
-    NodeRecovered,
-    PartitionHealed,
-    PartitionStarted,
-)
+from repro.obs.emitter import NULL_EMITTER
 from repro.sim.request import RequestState, ServiceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import avoided to keep the package
@@ -73,8 +68,11 @@ class FailureInjector:
         self._next_crash_ms = self._draw(self.config.node_mtbf_ms, 0.0)
         self._next_partition_ms = self._draw(self.config.partition_mtbf_ms, 0.0)
         self.events: List[FailureEvent] = []
-        #: observability bus; assigned by the runner, None when disabled.
+        #: observability bus; assigned by the runner, None when disabled
+        #: (kept for introspection — emissions go through the emitter).
         self.bus = None
+        #: lifecycle emitter; rewired by the runner, null when standalone.
+        self.emitter = NULL_EMITTER
 
     def _draw(self, mtbf: Optional[float], now_ms: float) -> float:
         if mtbf is None:
@@ -105,13 +103,11 @@ class FailureInjector:
         for name in [n for n, t in self._down_nodes.items() if now_ms >= t]:
             del self._down_nodes[name]
             self.events.append(FailureEvent(now_ms, "recover", name))
-            if self.bus is not None:
-                self.bus.publish(NodeRecovered(time_ms=now_ms, node=name))
+            self.emitter.node_recovered(now_ms, name)
         for cid in [c for c, t in self._partitioned.items() if now_ms >= t]:
             del self._partitioned[cid]
             self.events.append(FailureEvent(now_ms, "heal", f"cluster-{cid}"))
-            if self.bus is not None:
-                self.bus.publish(PartitionHealed(time_ms=now_ms, cluster_id=cid))
+            self.emitter.partition_healed(now_ms, cid)
 
         # new crash
         if now_ms >= self._next_crash_ms:
@@ -133,14 +129,9 @@ class FailureInjector:
                 self.events.append(
                     FailureEvent(now_ms, "partition", f"cluster-{cid}")
                 )
-                if self.bus is not None:
-                    self.bus.publish(
-                        PartitionStarted(
-                            time_ms=now_ms,
-                            cluster_id=cid,
-                            duration_ms=self.config.partition_duration_ms,
-                        )
-                    )
+                self.emitter.partition_started(
+                    now_ms, cid, self.config.partition_duration_ms
+                )
         return displaced
 
     def _pick_up_node(self):
@@ -154,16 +145,11 @@ class FailureInjector:
     def _crash(self, worker, now_ms: float) -> List[ServiceRequest]:
         self._down_nodes[worker.name] = now_ms + self.config.node_downtime_ms
         self.events.append(FailureEvent(now_ms, "crash", worker.name))
-        if self.bus is not None:
-            self.bus.publish(
-                NodeCrashed(
-                    time_ms=now_ms,
-                    node=worker.name,
-                    displaced=len(worker.running)
-                    + len(worker._lc_queue)
-                    + len(worker._be_queue),
-                )
-            )
+        self.emitter.node_crashed(
+            now_ms,
+            worker.name,
+            len(worker.running) + len(worker._lc_queue) + len(worker._be_queue),
+        )
         displaced: List[ServiceRequest] = []
         # running requests lose all state
         for rr in list(worker.running.values()):
@@ -187,3 +173,26 @@ class FailureInjector:
         # that normally maintain the snapshot dirty flag.
         worker.snapshot_dirty = True
         return displaced
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict:
+        """RNG position plus the full failure schedule (down/partitioned
+        maps, next-event draws, event log)."""
+        return {
+            "rng": self.rng.bit_generator.state,
+            "down_nodes": self._down_nodes,
+            "partitioned": self._partitioned,
+            "next_crash_ms": self._next_crash_ms,
+            "next_partition_ms": self._next_partition_ms,
+            "events": self.events,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self._down_nodes = state["down_nodes"]
+        self._partitioned = state["partitioned"]
+        self._next_crash_ms = state["next_crash_ms"]
+        self._next_partition_ms = state["next_partition_ms"]
+        self.events = state["events"]

@@ -14,16 +14,49 @@ return to the scheduling queue; LC requests that outstay a patience bound are
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
 from repro.workloads.spec import ServiceKind, ServiceSpec
 
-__all__ = ["RequestState", "ServiceRequest"]
+__all__ = [
+    "RequestState",
+    "ServiceRequest",
+    "request_id_state",
+    "restore_request_id_state",
+]
 
-_request_ids = itertools.count(1)
+
+class _IdSource:
+    """Monotonic request-id allocator with snapshotable position.
+
+    Replaces ``itertools.count`` so checkpoint/restore can pin the exact
+    id sequence: ids break FIFO/deadline priority ties, making them
+    behaviorally observable.
+    """
+
+    __slots__ = ("next_id",)
+
+    def __init__(self, start: int = 1) -> None:
+        self.next_id = start
+
+    def __next__(self) -> int:
+        value = self.next_id
+        self.next_id += 1
+        return value
+
+
+_request_ids = _IdSource()
+
+
+def request_id_state() -> int:
+    """Current allocator position (the next id to be handed out)."""
+    return _request_ids.next_id
+
+
+def restore_request_id_state(next_id: int) -> None:
+    _request_ids.next_id = next_id
 
 
 class RequestState(str, Enum):

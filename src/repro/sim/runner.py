@@ -1,45 +1,58 @@
 """Simulation runner: the dispatch–allocate–adjust loop of §3, end to end.
 
-Per tick the runner:
+Per tick the runner's :class:`~repro.sim.pipeline.TickPipeline`:
 
 1. injects trace arrivals into the origin cluster's master queues;
-2. refreshes the state storage (Prometheus/QoS-detector pushes);
-3. runs the LC scheduler *on every master* (distributed dispatch) and ships
+2. advances the failure injector (when one is configured);
+3. refreshes the state storage (Prometheus/QoS-detector pushes);
+4. runs the LC scheduler *on every master* (distributed dispatch) and ships
    assignments over the LAN/WAN with the topology's one-way delays;
-4. forwards BE requests to the central cluster (unless the BE policy is
+5. forwards BE requests to the central cluster (unless the BE policy is
    distributed, as DSACO's is) and runs the central BE dispatcher;
-5. delivers in-flight requests that arrived this tick into node queues;
-6. steps every worker node (admission under the attached resource manager,
+6. delivers in-flight requests that arrived this tick into node queues;
+7. steps every worker node (admission under the attached resource manager,
    processing, completion, eviction, abandonment);
-7. runs the QoS re-assurance pass (Algorithm 1) when HRM is active;
-8. samples period metrics (800 ms cadence).
+8. runs the QoS re-assurance pass (Algorithm 1) when HRM is active;
+9. samples period metrics (800 ms cadence).
 
-The runner is deterministic for a fixed trace and seeds.
+The runner is deterministic for a fixed trace and seeds, and every layer
+is :class:`~repro.sim.checkpoint.Checkpointable`: :meth:`checkpoint`
+freezes the full simulation state at the current tick and
+:meth:`from_checkpoint` (or :meth:`restore`) resumes it such that a
+resumed run is bit-identical to a straight run in every RunMetrics field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.topology import EdgeCloudSystem
 from repro.core.state_storage import StateStorage
 from repro.kube.events import EventRecorder
-from repro.obs.events import (
-    RequestAbandoned,
-    RequestArrived,
-    RequestCompleted,
-    RequestDelivered,
-    RequestDropped,
-    RequestEvicted,
-    RequestRequeued,
-    RequestScheduled,
+from repro.obs.emitter import BusEmitter, DirectEmitter
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    RunnerCheckpoint,
+    component_state,
+    restore_component,
 )
 from repro.sim.failures import FailureConfig, FailureInjector
 from repro.hrm.reassurance import ReassuranceMechanism
 from repro.metrics.collectors import PERIOD_MS, PeriodCollector, RunMetrics
 from repro.sim.engine import TICK_MS, Clock, DeliveryQueue
-from repro.sim.request import RequestState, ServiceRequest
+from repro.sim.pipeline import (
+    ProfiledPipeline,
+    SimContext,
+    TickPipeline,
+    build_stages,
+)
+from repro.sim.request import (
+    ServiceRequest,
+    request_id_state,
+    restore_request_id_state,
+)
 from repro.workloads.spec import ServiceSpec
 from repro.workloads.trace import TraceRecord
 
@@ -103,15 +116,6 @@ class SimulationRunner:
         )
         self.collector = PeriodCollector(system, period_ms=self.config.period_ms)
         self.clock = Clock(self.config.tick_ms)
-        self._deliveries = DeliveryQueue()  # payload: (request, cluster, node)
-        self._central_be: List[ServiceRequest] = []
-        self._central_inflight = DeliveryQueue()  # payload: request
-        self._trace = sorted(trace, key=lambda r: r.time_ms)
-        self._trace_cursor = 0
-        self._be_distributed = getattr(be_scheduler, "distributed", False)
-        self.dropped_be = 0
-        #: LC requests lost while running on a crashed node (abandoned).
-        self.crash_abandoned = 0
         self.injector: Optional[FailureInjector] = None
         if self.config.failures is not None:
             self.injector = FailureInjector(system, self.config.failures)
@@ -121,16 +125,12 @@ class SimulationRunner:
             from repro.perf.profiler import StageProfiler
 
             self.profiler = StageProfiler()
-        # active-set stepping state, initialised at run() start.
-        self._worker_list: List = []
-        self._active: set = set()
-        self._idle_skip_ok = False
         # --- observability ------------------------------------------------
         # The hub exists when anything consumes events (tracing/metrics via
         # ``observe``, or the kube audit stream via ``record_events``).
-        # When it does, the runner publishes typed events INSTEAD of calling
-        # the sinks directly and bridges replay the identical call sequence,
-        # so run fingerprints match the direct path bit for bit.
+        # When it does, the emitter publishes typed events INSTEAD of
+        # calling the sinks directly and bridges replay the identical call
+        # sequence, so run fingerprints match the direct path bit for bit.
         self.hub = None
         self.bus = None
         self.events: Optional[EventRecorder] = None
@@ -151,161 +151,154 @@ class SimulationRunner:
                     dedup_window_ms=self.config.event_dedup_window_ms,
                 )
                 self.hub.attach_recorder(self.events)
+        self.emitter = (
+            BusEmitter(self.bus)
+            if self.bus is not None
+            else DirectEmitter(self.collector)
+        )
         self._wire_publishers()
-        self._lc_label = type(lc_scheduler).__name__
-        self._be_label = type(be_scheduler).__name__
         self.checker = None
         if self.config.validate:
             from repro.sim.validation import InvariantChecker
 
             self.checker = InvariantChecker(system)
+        # --- tick pipeline ------------------------------------------------
+        self.ctx = SimContext(
+            system=system,
+            config=self.config,
+            catalog=self.catalog,
+            clock=self.clock,
+            collector=self.collector,
+            storage=self.storage,
+            lc_scheduler=lc_scheduler,
+            be_scheduler=be_scheduler,
+            emit=self.emitter,
+            deliveries=DeliveryQueue(),  # payload: (request, cluster, node)
+            central_inflight=DeliveryQueue(),  # payload: request
+            trace=sorted(trace, key=lambda r: r.time_ms),
+            lc_label=type(lc_scheduler).__name__,
+            be_label=type(be_scheduler).__name__,
+            be_distributed=getattr(be_scheduler, "distributed", False),
+            reassurance=reassurance,
+            injector=self.injector,
+            checker=self.checker,
+            hub=self.hub,
+            sample_gauges=self.hub is not None and self.config.observe,
+        )
+        self.pipeline = TickPipeline(
+            build_stages(include_failures=self.injector is not None)
+        )
 
     def _wire_publishers(self) -> None:
-        """Hand the bus to every publisher (or reset it to None).
+        """Hand the bus + emitter to every publisher exactly once.
 
         Schedulers, managers, and the re-assurance mechanism are owned by
-        the system builder and reused across runs, so the bus reference is
+        the system builder and reused across runs, so the references are
         always (re)assigned — a disabled run must not inherit a previous
-        run's bus.
+        run's bus.  Publishers are deduplicated by identity (a dual-role
+        scheduler like DSACO appears as both LC and BE; one manager object
+        usually serves every worker), making the wiring idempotent.
         """
-        bus = self.bus
-        self.lc_scheduler.bus = bus
-        self.be_scheduler.bus = bus
+        publishers: List[Any] = [self.lc_scheduler, self.be_scheduler]
         if self.reassurance is not None:
-            self.reassurance.bus = bus
+            publishers.append(self.reassurance)
         if self.injector is not None:
-            self.injector.bus = bus
-        seen = set()
+            publishers.append(self.injector)
         for node in self.system.all_workers():
-            manager = node.manager
-            if manager is not None and id(manager) not in seen:
-                seen.add(id(manager))
-                manager.bus = bus
+            if node.manager is not None:
+                publishers.append(node.manager)
+        seen = set()
+        for publisher in publishers:
+            if id(publisher) in seen:
+                continue
+            seen.add(id(publisher))
+            publisher.bus = self.bus
+            publisher.emitter = self.emitter
+
+    # ------------------------------------------------------------------ #
+    # delegates — the live run state lives on the SimContext
+    # ------------------------------------------------------------------ #
+    @property
+    def _deliveries(self) -> DeliveryQueue:
+        return self.ctx.deliveries
+
+    @property
+    def _central_inflight(self) -> DeliveryQueue:
+        return self.ctx.central_inflight
+
+    @property
+    def _central_be(self) -> List[ServiceRequest]:
+        return self.ctx.central_be
+
+    @property
+    def _trace(self) -> Sequence[TraceRecord]:
+        return self.ctx.trace
+
+    @property
+    def _trace_cursor(self) -> int:
+        return self.ctx.trace_cursor
+
+    @property
+    def _be_distributed(self) -> bool:
+        return self.ctx.be_distributed
+
+    @property
+    def dropped_be(self) -> int:
+        return self.ctx.dropped_be
+
+    @property
+    def crash_abandoned(self) -> int:
+        """LC requests lost while running on a crashed node (abandoned)."""
+        return self.ctx.crash_abandoned
 
     # ------------------------------------------------------------------ #
     # main loop
     # ------------------------------------------------------------------ #
-    def run(self) -> RunMetrics:
-        cfg = self.config
-        n_ticks = int(cfg.duration_ms / cfg.tick_ms)
-        self._init_active_set()
-        sample_gauges = self.hub is not None and cfg.observe
-        prof = self.profiler
-        if prof is None:
-            for _ in range(n_ticks):
-                now = self.clock.now_ms
-                self._inject_arrivals(now + cfg.tick_ms)
-                self._apply_failures(now)
-                snapshot = self.storage.refresh(now)
-                self._dispatch_lc(snapshot, now)
-                self._dispatch_be(snapshot, now)
-                self._deliver(now)
-                self._step_nodes(now)
-                self._run_reassurance(now)
-                if self.checker is not None:
-                    self.checker.check(now, self.collector.metrics)
-                if self.collector.maybe_sample(now + cfg.tick_ms) and sample_gauges:
-                    self._sample_gauges(now + cfg.tick_ms)
-                self.clock.advance()
-        else:
-            for _ in range(n_ticks):
-                now = self.clock.now_ms
-                t = prof.start()
-                self._inject_arrivals(now + cfg.tick_ms)
-                prof.stop("arrivals", t)
-                if self.injector is not None:
-                    t = prof.start()
-                    self._apply_failures(now)
-                    prof.stop("failures", t)
-                t = prof.start()
-                snapshot = self.storage.refresh(now)
-                prof.stop("refresh", t)
-                t = prof.start()
-                self._dispatch_lc(snapshot, now)
-                prof.stop("lc", t)
-                t = prof.start()
-                self._dispatch_be(snapshot, now)
-                prof.stop("be", t)
-                t = prof.start()
-                self._deliver(now)
-                prof.stop("deliver", t)
-                t = prof.start()
-                self._step_nodes(now)
-                prof.stop("step", t)
-                t = prof.start()
-                self._run_reassurance(now)
-                prof.stop("reassure", t)
-                t = prof.start()
-                if self.checker is not None:
-                    self.checker.check(now, self.collector.metrics)
-                if self.collector.maybe_sample(now + cfg.tick_ms) and sample_gauges:
-                    self._sample_gauges(now + cfg.tick_ms)
-                prof.stop("metrics", t)
-                self.clock.advance()
-        if self.hub is not None and prof is not None:
-            self.hub.record_stage_totals(self.clock.now_ms, prof.stage_ms())
-        return self.collector.metrics
+    def run(self, until_ms: Optional[float] = None) -> RunMetrics:
+        """Run to ``until_ms`` (default: the configured duration).
 
-    def _sample_gauges(self, now_ms: float) -> None:
-        """Push per-period gauges right after the collector closed a period."""
-        self.hub.sample_period(
-            now_ms,
-            self.system,
-            self.collector,
-            detector=self.storage.detector,
-            specs=list(self.catalog.values()),
+        ``run`` may be called repeatedly — each call continues from the
+        current clock, which is how ``checkpoint``-at-t works: run to t,
+        freeze, keep running (or resume elsewhere).
+        """
+        cfg = self.config
+        end_ms = cfg.duration_ms if until_ms is None else min(
+            until_ms, cfg.duration_ms
         )
+        n_ticks = int(end_ms / cfg.tick_ms) - self.clock.tick_count
+        self._init_active_set()
+        pipeline = self.pipeline
+        if self.profiler is not None:
+            pipeline = ProfiledPipeline(pipeline, self.profiler)
+        ctx = self.ctx
+        clock = self.clock
+        for _ in range(max(0, n_ticks)):
+            ctx.now_ms = clock.now_ms
+            pipeline.run_tick(ctx)
+            clock.advance()
+        if self.hub is not None and self.profiler is not None:
+            self.hub.record_stage_totals(clock.now_ms, self.profiler.stage_ms())
+        return self.collector.metrics
 
     def _init_active_set(self) -> None:
         """Prepare active-set stepping for this run.
 
-        ``_worker_list`` fixes the canonical step order (cluster-ascending,
+        ``worker_list`` fixes the canonical step order (cluster-ascending,
         worker order within a cluster — identical to the seed's nested
         loops).  A node is skipped only when it is verifiably inert: no
         queued or running work, *and* its manager declares ``tick`` a no-op
         on idle nodes (HRM and the static partitioner do; CERES keeps a
         control-loop timestamp per tick, so CERES runs step every node).
+        Starting from the full set is always safe: idle nodes fall out of
+        the set after their first no-op step.
         """
-        self._worker_list = list(self.system.all_workers())
-        self._active = set(self._worker_list)
-        self._idle_skip_ok = all(
+        ctx = self.ctx
+        ctx.worker_list = list(self.system.all_workers())
+        ctx.active = set(ctx.worker_list)
+        ctx.idle_skip_ok = all(
             getattr(node.manager, "idle_tick_noop", False)
-            for node in self._worker_list
+            for node in ctx.worker_list
         )
-
-    # ------------------------------------------------------------------ #
-    # stage 1: arrivals
-    # ------------------------------------------------------------------ #
-    def _inject_arrivals(self, until_ms: float) -> None:
-        while (
-            self._trace_cursor < len(self._trace)
-            and self._trace[self._trace_cursor].time_ms < until_ms
-        ):
-            record = self._trace[self._trace_cursor]
-            self._trace_cursor += 1
-            spec = self.catalog.get(record.service)
-            if spec is None:
-                continue
-            cluster_id = record.cluster_id % self.system.n_clusters
-            request = ServiceRequest(
-                spec=spec,
-                origin_cluster=cluster_id,
-                arrival_ms=record.time_ms,
-            )
-            self.system.cluster(cluster_id).receive(request)
-            if self.bus is None:
-                self.collector.on_arrival(request)
-            else:
-                self.bus.publish(
-                    RequestArrived(
-                        time_ms=record.time_ms,
-                        request_id=request.request_id,
-                        service=spec.name,
-                        lc=request.is_lc,
-                        origin_cluster=cluster_id,
-                        request=request,
-                    )
-                )
 
     # ------------------------------------------------------------------ #
     # failures
@@ -317,312 +310,165 @@ class SimulationRunner:
             or self.injector.cluster_is_partitioned(cluster_id)
         )
 
-    def _apply_failures(self, now_ms: float) -> None:
-        if self.injector is None:
-            return
-        # crash/recover/partition/heal events are published by the injector
-        # itself (it holds the bus); the kube bridge renders them.
-        displaced = self.injector.apply(now_ms)
-        for request in displaced:
-            if request.state is RequestState.ABANDONED:
-                # LC running on the crashed node when it went down: the
-                # injector marked it abandoned; fold it into the abandon
-                # counters exactly like a queue-patience drop.
-                self.crash_abandoned += 1
-                if self.bus is None:
-                    self.collector.on_abandon(request)
-                else:
-                    self.bus.publish(
-                        RequestAbandoned(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            service=request.spec.name,
-                            where="crash",
-                            request=request,
-                        )
-                    )
-            elif request.is_lc:
-                # queued LC survives the crash: back to its origin master.
-                self.system.cluster(request.origin_cluster).receive(request)
-                if self.bus is not None:
-                    self.bus.publish(
-                        RequestRequeued(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            origin_cluster=request.origin_cluster,
-                            reschedules=request.reschedules,
-                            request=request,
-                        )
-                    )
-            else:
-                if self.bus is not None:
-                    self.bus.publish(
-                        RequestEvicted(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            service=request.spec.name,
-                            node=request.target_node or "",
-                            cause="crash",
-                            request=request,
-                        )
-                    )
-                self._requeue_evicted(request, now_ms)
-
     # ------------------------------------------------------------------ #
-    # stage 2: LC dispatch (distributed, per master)
+    # checkpoint / restore
     # ------------------------------------------------------------------ #
-    def _dispatch_lc(self, snapshot, now_ms: float) -> None:
-        for cluster in self.system.clusters:
-            if not cluster.lc_queue:
-                continue
-            requests = cluster.drain_lc()
-            eligible = self.system.nearby_clusters(cluster.cluster_id)
-            assignments = self.lc_scheduler.dispatch(
-                cluster.cluster_id, requests, snapshot, eligible, now_ms
-            )
-            assigned_ids = {a.request.request_id for a in assignments}
-            for assignment in assignments:
-                self._ship(assignment, cluster.cluster_id, now_ms)
-            for request in requests:
-                if request.request_id not in assigned_ids:
-                    cluster.lc_queue.append(request)
+    def _checkpoint_components(self) -> Dict[str, Any]:
+        """Every stateful component, each exactly once.
 
-    # ------------------------------------------------------------------ #
-    # stage 3: BE forwarding + central dispatch
-    # ------------------------------------------------------------------ #
-    def _dispatch_be(self, snapshot, now_ms: float) -> None:
-        central = self.system.central_cluster_id
-        if self._be_distributed:
-            # DSACO-style: each cluster dispatches its own BE queue locally.
-            for cluster in self.system.clusters:
-                if not cluster.be_queue:
-                    continue
-                requests = cluster.drain_be()
-                eligible = self.system.nearby_clusters(cluster.cluster_id)
-                assignments = self.lc_or_be_distributed_dispatch(
-                    cluster.cluster_id, requests, snapshot, eligible, now_ms
-                )
-                assigned = {a.request.request_id for a in assignments}
-                for a in assignments:
-                    self._ship(a, cluster.cluster_id, now_ms)
-                for r in requests:
-                    if r.request_id not in assigned:
-                        cluster.be_queue.append(r)
-            return
-
-        # forward to central (paying WAN delay once)
-        for cluster in self.system.clusters:
-            if not cluster.be_queue:
-                continue
-            for request in cluster.drain_be():
-                delay = self.system.one_way_delay_ms(cluster.cluster_id, central)
-                request.network_delay_ms += delay
-                request.state = RequestState.IN_FLIGHT
-                self._central_inflight.schedule(now_ms + delay, request)
-        self._central_be.extend(self._central_inflight.pop_due(now_ms))
-
-        if not self._central_be:
-            return
-        requests = self._central_be
-        self._central_be = []
-        assignments = self.be_scheduler.dispatch_be(requests, snapshot, now_ms)
-        assigned = {a.request.request_id for a in assignments}
-        for assignment in assignments:
-            self._ship(assignment, central, now_ms)
-        for request in requests:
-            if request.request_id not in assigned:
-                self._central_be.append(request)
-
-    def lc_or_be_distributed_dispatch(
-        self, origin, requests, snapshot, eligible, now_ms
-    ):
-        """Distributed BE dispatch path (scheduler exposes the LC protocol)."""
-        return self.be_scheduler.dispatch(
-            origin, requests, snapshot, eligible, now_ms
-        )
-
-    # ------------------------------------------------------------------ #
-    # shipping + delivery
-    # ------------------------------------------------------------------ #
-    def _ship(self, assignment, from_cluster: int, now_ms: float) -> None:
-        request = assignment.request
-        # propagation + payload serialisation over the (tc-shaped) link
-        delay = self.system.transfer_ms(
-            from_cluster, assignment.cluster_id, request.spec.payload_kb
-        )
-        request.network_delay_ms += delay
-        request.dispatched_ms = now_ms
-        request.state = RequestState.IN_FLIGHT
-        if self.bus is not None:
-            self.bus.publish(
-                RequestScheduled(
-                    time_ms=now_ms,
-                    request_id=request.request_id,
-                    service=request.spec.name,
-                    origin_cluster=request.origin_cluster,
-                    node=assignment.node_name,
-                    cluster_id=assignment.cluster_id,
-                    cost_ms=assignment.cost_ms,
-                    ship_delay_ms=delay,
-                    scheduler=(
-                        self._lc_label if request.is_lc else self._be_label
-                    ),
-                    request=request,
-                )
-            )
-        self._deliveries.schedule(
-            now_ms + delay, (request, assignment.cluster_id, assignment.node_name)
-        )
-
-    def _deliver(self, now_ms: float) -> None:
-        for request, cluster_id, node_name in self._deliveries.pop_due(now_ms):
-            node = self.system.cluster(cluster_id).worker(node_name)
-            node.enqueue(request, now_ms)
-            self._active.add(node)
-            if self.bus is not None:
-                self.bus.publish(
-                    RequestDelivered(
-                        time_ms=now_ms,
-                        request_id=request.request_id,
-                        node=node_name,
-                        request=request,
-                    )
-                )
-
-    # ------------------------------------------------------------------ #
-    # node execution
-    # ------------------------------------------------------------------ #
-    def _step_nodes(self, now_ms: float) -> None:
-        """Step nodes holding work, in the canonical (seed) node order.
-
-        Membership in ``_active`` is maintained incrementally — added on
-        delivery, removed when a step leaves the node idle — so an idle
-        fleet costs one set lookup per node instead of a full step.  The
-        canonical iteration order is kept (rather than iterating the set)
-        because step order is observable: it decides eviction-requeue and
-        completion-callback order.
+        Shared objects (DSACO serving both roles, one manager across all
+        workers, the detector referenced by storage/HRM/re-assurance) are
+        snapshotted at one canonical slot; the single-deepcopy bundle keeps
+        any remaining cross-references aliased.
         """
-        dt = self.config.tick_ms
-        active = self._active
-        skip_idle = self._idle_skip_ok
-        injector = self.injector
-        for node in self._worker_list:
-            if skip_idle and node not in active:
+        components: Dict[str, Any] = {
+            "collector": self.collector,
+            "storage": self.storage,
+        }
+        if self.storage.detector is not None:
+            components["detector"] = self.storage.detector
+        components["lc_scheduler"] = self.lc_scheduler
+        if self.be_scheduler is not self.lc_scheduler:
+            components["be_scheduler"] = self.be_scheduler
+        if self.reassurance is not None:
+            components["reassurance"] = self.reassurance
+        if self.injector is not None:
+            components["injector"] = self.injector
+        seen = set()
+        index = 0
+        for node in self.system.all_workers():
+            manager = node.manager
+            if manager is None or id(manager) in seen:
                 continue
-            if injector is not None and injector.node_is_down(node.name):
-                continue
-            completed, evicted, abandoned = node.step(now_ms, dt)
-            if skip_idle and not node.is_active:
-                active.discard(node)
-            if not (completed or evicted or abandoned):
-                continue
-            bus = self.bus
-            for request in completed:
-                if bus is None:
-                    self.collector.on_completion(request)
-                else:
-                    bus.publish(
-                        RequestCompleted(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            service=request.spec.name,
-                            lc=request.is_lc,
-                            node=node.name,
-                            latency_ms=request.total_latency_ms() or 0.0,
-                            qos_met=bool(request.qos_met()),
-                            request=request,
-                        )
-                    )
-                if not request.is_lc and hasattr(
-                    self.be_scheduler, "note_completion"
-                ):
-                    self.be_scheduler.note_completion(
-                        request, node.capacity.cpu, node.capacity.memory
-                    )
-            for request in evicted:
-                if bus is None:
-                    self.collector.on_eviction(request)
-                else:
-                    bus.publish(
-                        RequestEvicted(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            service=request.spec.name,
-                            node=node.name,
-                            cause="preemption",
-                            request=request,
-                        )
-                    )
-                self._requeue_evicted(request, now_ms)
-            for request in abandoned:
-                if bus is None:
-                    self.collector.on_abandon(request)
-                else:
-                    bus.publish(
-                        RequestAbandoned(
-                            time_ms=now_ms,
-                            request_id=request.request_id,
-                            service=request.spec.name,
-                            where="node-queue",
-                            request=request,
-                        )
-                    )
+            seen.add(id(manager))
+            components[f"manager_{index}"] = manager
+            index += 1
+        return components
 
-    def _requeue_evicted(self, request: ServiceRequest, now_ms: float) -> None:
-        if not self.config.requeue_evicted_be:
-            self.dropped_be += 1
-            self._publish_drop(request, now_ms)
-            return
-        request.reschedules += 1
-        if request.reschedules > self.config.max_be_reschedules:
-            self.dropped_be += 1
-            self._publish_drop(request, now_ms)
-            return
-        self.system.cluster(request.origin_cluster).receive(request)
-        if self.bus is not None:
-            self.bus.publish(
-                RequestRequeued(
-                    time_ms=now_ms,
-                    request_id=request.request_id,
-                    origin_cluster=request.origin_cluster,
-                    reschedules=request.reschedules,
-                    request=request,
-                )
+    def checkpoint(self) -> RunnerCheckpoint:
+        """Freeze the full simulation state at the current tick.
+
+        Call between ticks (i.e. after :meth:`run` returned).  The bundle
+        is deepcopied in one pass so aliasing between layers is preserved;
+        the live run is never mutated.
+        """
+        ctx = self.ctx
+        state: Dict[str, Any] = {
+            "tick_ms": self.config.tick_ms,
+            "trace_len": len(ctx.trace),
+            "request_ids": request_id_state(),
+            "clock": self.clock.snapshot_state(),
+            "runner": {
+                "trace_cursor": ctx.trace_cursor,
+                "central_be": ctx.central_be,
+                "dropped_be": ctx.dropped_be,
+                "crash_abandoned": ctx.crash_abandoned,
+                "warned_remap": ctx.warned_remap,
+                "deliveries": ctx.deliveries.snapshot_state(),
+                "central_inflight": ctx.central_inflight.snapshot_state(),
+            },
+            "components": {
+                name: component_state(obj)
+                for name, obj in self._checkpoint_components().items()
+            },
+            "clusters": [
+                cluster.snapshot_state() for cluster in self.system.clusters
+            ],
+            "nodes": {
+                worker.name: worker.snapshot_state()
+                for worker in self.system.all_workers()
+            },
+        }
+        return RunnerCheckpoint(
+            state=copy.deepcopy(state),
+            version=CHECKPOINT_VERSION,
+            meta={"now_ms": self.clock.now_ms},
+        )
+
+    def restore(self, checkpoint: RunnerCheckpoint) -> None:
+        """Install a checkpoint into this (freshly built) runner.
+
+        The runner must have been constructed with the same topology,
+        stack, and trace as the one that produced the checkpoint — the
+        component layout is validated, semantic equivalence is the
+        caller's contract.  The checkpoint itself is never consumed: the
+        state is deepcopied on the way in, so one checkpoint can seed any
+        number of forks.
+        """
+        if checkpoint.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {checkpoint.version} "
+                f"!= supported {CHECKPOINT_VERSION}"
             )
-
-    def _publish_drop(self, request: ServiceRequest, now_ms: float) -> None:
-        if self.bus is not None:
-            self.bus.publish(
-                RequestDropped(
-                    time_ms=now_ms,
-                    request_id=request.request_id,
-                    service=request.spec.name,
-                    reschedules=request.reschedules,
-                    request=request,
-                )
+        state = copy.deepcopy(checkpoint.state)
+        if state["tick_ms"] != self.config.tick_ms:
+            raise ValueError(
+                f"checkpoint tick_ms {state['tick_ms']} != "
+                f"runner tick_ms {self.config.tick_ms}"
             )
+        ctx = self.ctx
+        if state["trace_len"] != len(ctx.trace):
+            raise ValueError(
+                f"checkpoint was taken against a {state['trace_len']}-record "
+                f"trace; this runner has {len(ctx.trace)} records"
+            )
+        components = self._checkpoint_components()
+        saved = state["components"]
+        if set(saved) != set(components):
+            missing = sorted(set(saved) ^ set(components))
+            raise ValueError(
+                "checkpoint does not match this system configuration "
+                f"(component mismatch: {missing})"
+            )
+        restore_request_id_state(state["request_ids"])
+        self.clock.restore_state(state["clock"])
+        runner_state = state["runner"]
+        ctx.trace_cursor = runner_state["trace_cursor"]
+        ctx.central_be = runner_state["central_be"]
+        ctx.dropped_be = runner_state["dropped_be"]
+        ctx.crash_abandoned = runner_state["crash_abandoned"]
+        ctx.warned_remap = runner_state["warned_remap"]
+        ctx.deliveries.restore_state(runner_state["deliveries"])
+        ctx.central_inflight.restore_state(runner_state["central_inflight"])
+        for name, obj in components.items():
+            restore_component(obj, saved[name])
+        clusters = state["clusters"]
+        if len(clusters) != len(self.system.clusters):
+            raise ValueError("checkpoint cluster count mismatch")
+        for cluster, cluster_state in zip(self.system.clusters, clusters):
+            cluster.restore_state(cluster_state)
+        nodes = state["nodes"]
+        for worker in self.system.all_workers():
+            if worker.name not in nodes:
+                raise ValueError(f"checkpoint missing node {worker.name!r}")
+            worker.restore_state(nodes[worker.name])
+        self._init_active_set()
 
-    # ------------------------------------------------------------------ #
-    # HRM adjustment pass
-    # ------------------------------------------------------------------ #
-    def _run_reassurance(self, now_ms: float) -> None:
-        if self.reassurance is None:
-            return
-        # only nodes in the active set can hold running LC work, so the
-        # active-services map is built from it (idle nodes contribute
-        # nothing to Algorithm 1 either way).
-        active: Dict[str, Dict[str, ServiceSpec]] = {}
-        active_set = self._active if self._idle_skip_ok else None
-        for node in self._worker_list:
-            if active_set is not None and node not in active_set:
-                continue
-            if not node.running:
-                continue
-            services: Dict[str, ServiceSpec] = {}
-            for rr in node.running.values():
-                if rr.request.is_lc:
-                    services[rr.request.spec.name] = rr.request.spec
-            if services:
-                active[node.name] = services
-        if active:
-            self.reassurance.run(now_ms, active)
+    @classmethod
+    def from_checkpoint(
+        cls,
+        checkpoint: RunnerCheckpoint,
+        system: EdgeCloudSystem,
+        trace: Sequence[TraceRecord],
+        catalog: Sequence[ServiceSpec],
+        lc_scheduler,
+        be_scheduler,
+        *,
+        config: Optional[RunnerConfig] = None,
+        state_storage: Optional[StateStorage] = None,
+        reassurance: Optional[ReassuranceMechanism] = None,
+    ) -> "SimulationRunner":
+        """Build a fresh runner over an identically-built system and
+        install ``checkpoint`` into it."""
+        runner = cls(
+            system,
+            trace,
+            catalog,
+            lc_scheduler,
+            be_scheduler,
+            config=config,
+            state_storage=state_storage,
+            reassurance=reassurance,
+        )
+        runner.restore(checkpoint)
+        return runner
