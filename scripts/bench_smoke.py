@@ -5,6 +5,11 @@ checked-in ``BENCH_PR1.json``, and exits non-zero when throughput dropped
 more than the tolerance.  On success the JSON is rewritten in place with
 the fresh "after" measurement (the recorded "before" baseline is kept).
 
+Also runs the invariant-checker parity gate: one small workload twice,
+with and without ``check_invariants`` — the checker must report zero
+violations and the two RunMetrics fingerprints must be bit-identical
+(the checker observes, it never steers).
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_smoke.py [--tolerance 0.2] [--dry-run]
@@ -26,6 +31,76 @@ from repro.perf.bench import run_bench, write_bench_json  # noqa: E402
 BENCH_PATH = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR1.json")
 )
+
+
+def _fingerprint(metrics) -> dict:
+    # mirrors tests/test_perf_determinism.py — the seed fingerprint shape
+    return {
+        "lc_arrived": metrics.lc_arrived,
+        "lc_completed": metrics.lc_completed,
+        "lc_satisfied": metrics.lc_satisfied,
+        "lc_abandoned": metrics.lc_abandoned,
+        "be_arrived": metrics.be_arrived,
+        "be_completed": metrics.be_completed,
+        "be_evictions": metrics.be_evictions,
+        "lc_latency_sum": round(sum(metrics.lc_latencies_ms), 6),
+        "utilization": [round(u, 12) for u in metrics.utilization],
+        "qos_rate_per_period": [
+            round(r, 12) for r in metrics.qos_rate_per_period
+        ],
+        "per_service": {
+            k: list(v) for k, v in sorted(metrics.per_service.items())
+        },
+    }
+
+
+def invariant_gate() -> int:
+    """Checker on vs off: zero violations, bit-identical fingerprints."""
+    from repro.cluster.topology import TopologyConfig
+    from repro.core.config import TangoConfig
+    from repro.core.tango import TangoSystem
+    from repro.sim.runner import RunnerConfig
+    from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+    duration = 6_000.0
+    trace = SyntheticTrace(
+        TraceConfig(n_clusters=3, duration_ms=duration, seed=1)
+    ).generate()
+
+    def run(check_invariants: bool):
+        config = TangoConfig.tango(
+            topology=TopologyConfig(
+                n_clusters=3, workers_per_cluster=3, seed=1
+            ),
+            runner=RunnerConfig(
+                duration_ms=duration, check_invariants=check_invariants
+            ),
+        )
+        return TangoSystem(config).run(trace)
+
+    off = run(False)
+    on = run(True)
+    status = 0
+    if on.invariant_violations:
+        print(
+            f"FAIL: invariant gate found {on.invariant_violations} "
+            f"violation(s): {on.invariant_violations_by_law}",
+            file=sys.stderr,
+        )
+        status = 1
+    if _fingerprint(on) != _fingerprint(off):
+        print(
+            "FAIL: invariant checker changed the run fingerprint — the "
+            "checker must observe, never steer",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print(
+            "invariant gate: 0 violations, checker-on/off fingerprints "
+            "bit-identical"
+        )
+    return status
 
 
 def main() -> int:
@@ -65,6 +140,7 @@ def main() -> int:
             file=sys.stderr,
         )
         status = 1
+    status |= invariant_gate()
     before = None
     if recorded is not None:
         before = recorded.get("before")

@@ -104,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="which system to assemble",
     )
     run.add_argument("--out", help="write metrics JSON here")
+    run.add_argument(
+        "--check-invariants", action="store_true",
+        help="run the runtime conservation-law checker every tick",
+    )
+    run.add_argument(
+        "--invariant-mode", choices=["strict", "soft"], default="strict",
+        help="strict raises on the first violation; soft counts and "
+        "keeps running",
+    )
+    run.add_argument(
+        "--failures", action="store_true",
+        help="enable the default failure injector (node crashes)",
+    )
 
     compare = sub.add_parser("compare", help="run several stacks, same trace")
     _common_run_args(compare)
@@ -208,6 +221,11 @@ def _build_system(
     stack: str, args: argparse.Namespace, *, observe: bool = False
 ) -> TangoSystem:
     factory = _STACKS[stack]
+    failures = None
+    if getattr(args, "failures", False):
+        from repro.sim.failures import FailureConfig
+
+        failures = FailureConfig(seed=args.seed)
     config = factory(
         topology=TopologyConfig(
             n_clusters=args.clusters,
@@ -215,7 +233,11 @@ def _build_system(
             seed=args.seed,
         ),
         runner=RunnerConfig(
-            duration_ms=args.duration * 1000.0, observe=observe
+            duration_ms=args.duration * 1000.0,
+            observe=observe,
+            failures=failures,
+            check_invariants=getattr(args, "check_invariants", False),
+            invariant_mode=getattr(args, "invariant_mode", "strict"),
         ),
     )
     return TangoSystem(config)
@@ -238,6 +260,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     metrics = system.run(_build_trace(args))
     for key, value in metrics.summary().items():
         print(f"{key:24s} {value:.4f}")
+    if args.check_invariants:
+        print(f"{'invariant_violations':24s} {metrics.invariant_violations}")
+        for law, count in sorted(
+            metrics.invariant_violations_by_law.items()
+        ):
+            print(f"  {law:22s} {count}")
     if args.out:
         path = save_metrics(metrics, args.out)
         print(f"\nmetrics written to {path}")

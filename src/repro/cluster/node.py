@@ -295,7 +295,10 @@ class WorkerNode:
         self.reclaim(rr.allocation)
         req = rr.request
         req.evictions += 1
-        req.started_ms = None
+        # back to the master queue: placement fields would otherwise point
+        # at this node through the next dispatch round (the step stage
+        # emits the eviction event with the node name explicitly).
+        req.clear_assignment()
         req.state = RequestState.QUEUED_MASTER
         self.evicted_count += 1
 

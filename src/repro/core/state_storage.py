@@ -138,7 +138,7 @@ class StateStorage:
                 continue
             snap = cache.get(worker.name)
             if snap is None or getattr(worker, "snapshot_dirty", True):
-                snap = self._snapshot_worker(worker)
+                snap = self._snapshot_worker(worker, now_ms)
                 cache[worker.name] = snap
                 worker.snapshot_dirty = False
             nodes.append(snap)
@@ -156,12 +156,14 @@ class StateStorage:
         )
         return self._snapshot
 
-    def _snapshot_worker(self, worker) -> NodeSnapshot:
+    def _snapshot_worker(self, worker, now_ms: float) -> NodeSnapshot:
         free = worker.free()
         lc_q, be_q = worker.queue_lengths()
         q_cpu, q_mem = worker.queued_be_demand()
         if self.detector is not None and self.specs:
-            slack = self.detector.node_min_slack(worker.name, self.specs)
+            slack = self.detector.node_min_slack(
+                worker.name, self.specs, now_ms=now_ms
+            )
         else:
             slack = 1.0
         return NodeSnapshot(
@@ -182,6 +184,12 @@ class StateStorage:
     @property
     def current(self) -> Optional[SystemSnapshot]:
         return self._snapshot
+
+    def cached_node_snapshot(self, name: str) -> Optional[NodeSnapshot]:
+        """Last per-worker view built by :meth:`refresh` (None before the
+        first refresh touches the node).  Used by the invariant checker to
+        compare the cached view against ground truth."""
+        return self._node_cache.get(name)
 
     # ------------------------------------------------------------------ #
     # Checkpointable

@@ -63,26 +63,51 @@ class QoSDetector:
             self._node_services.setdefault(node, []).append(service)
         window = self._samples[key]
         window.append(_Sample(completed_ms, latency_ms))
-        self._expire(window, completed_ms)
+        self._expire(key, window, completed_ms)
         self._tail_cache.pop(key, None)
 
-    def _expire(self, window: Deque[_Sample], now_ms: float) -> None:
+    def _expire(
+        self, key: Tuple[str, str], window: Deque[_Sample], now_ms: float
+    ) -> None:
+        expired = False
         while (
             len(window) > self.min_keep
             and window[0].completed_ms < now_ms - self.window_ms
         ):
             window.popleft()
+            expired = True
+        if expired:
+            self._tail_cache.pop(key, None)
+
+    def purge_node(self, node: str) -> None:
+        """Drop every window for a node (crashed/removed: its history is
+        meaningless once the node restarts cold)."""
+        for service in self._node_services.pop(node, ()):
+            key = (node, service)
+            self._samples.pop(key, None)
+            self._tail_cache.pop(key, None)
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def tail_latency_ms(
-        self, node: str, service: str, percentile: float = 95.0
+        self,
+        node: str,
+        service: str,
+        percentile: float = 95.0,
+        *,
+        now_ms: Optional[float] = None,
     ) -> Optional[float]:
         key = (node, service)
         window = self._samples.get(key)
         if not window:
             return None
+        if now_ms is not None:
+            # expire on read: a window that stopped receiving completions
+            # (evicted service, idle node) must not report a stale tail
+            # forever.  min_keep still floors the window, exactly as in
+            # observe(), so quiet-window behaviour is unchanged.
+            self._expire(key, window, now_ms)
         cached = self._tail_cache.get(key)
         if cached is not None:
             value = cached.get(percentile)
@@ -96,12 +121,17 @@ class QoSDetector:
         return value
 
     def slack_score(
-        self, node: str, service: str, spec: ServiceSpec
+        self,
+        node: str,
+        service: str,
+        spec: ServiceSpec,
+        *,
+        now_ms: Optional[float] = None,
     ) -> Optional[float]:
         """δ = 1 − ξ/γ; None when no samples exist yet."""
         if not spec.is_lc or not np.isfinite(spec.qos_target_ms):
             return None
-        tail = self.tail_latency_ms(node, service)
+        tail = self.tail_latency_ms(node, service, now_ms=now_ms)
         if tail is None:
             return None
         return 1.0 - tail / spec.qos_target_ms
@@ -110,14 +140,20 @@ class QoSDetector:
         window = self._samples.get((node, service))
         return len(window) if window else 0
 
-    def node_min_slack(self, node: str, specs: Dict[str, ServiceSpec]) -> float:
+    def node_min_slack(
+        self,
+        node: str,
+        specs: Dict[str, ServiceSpec],
+        *,
+        now_ms: Optional[float] = None,
+    ) -> float:
         """Worst slack over LC services on a node (DCG-BE state feature)."""
         scores = []
         for service in self._node_services.get(node, ()):
             spec = specs.get(service)
             if spec is None or not spec.is_lc:
                 continue
-            s = self.slack_score(node, service, spec)
+            s = self.slack_score(node, service, spec, now_ms=now_ms)
             if s is not None:
                 scores.append(s)
         return min(scores) if scores else 1.0

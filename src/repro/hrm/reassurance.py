@@ -95,8 +95,14 @@ class ReassuranceMechanism:
         """Current minimum allocation for one request of ``spec`` on node."""
         return self._min_resources.get((node, spec.name), spec.min_resources)
 
-    def classify(self, node: str, spec: ServiceSpec) -> str:
-        slack = self.detector.slack_score(node, spec.name, spec)
+    def classify(
+        self,
+        node: str,
+        spec: ServiceSpec,
+        *,
+        now_ms: Optional[float] = None,
+    ) -> str:
+        slack = self.detector.slack_score(node, spec.name, spec, now_ms=now_ms)
         if slack is None:
             return LEVEL_STABLE
         if slack < self.config.alpha:
@@ -127,7 +133,7 @@ class ReassuranceMechanism:
             for name, spec in services.items():
                 if not spec.is_lc:
                     continue
-                level = self.classify(node, spec)
+                level = self.classify(node, spec, now_ms=now_ms)
                 self.adjustments[level] += 1
                 if level == LEVEL_POOR:
                     self._scale(node, spec, self.config.increase_step)

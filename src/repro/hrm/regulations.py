@@ -114,6 +114,11 @@ class HRMManager:
                 if not demand.fits_in(free + freed_by_eviction):
                     return None
                 self.preemption_evictions += len(evicted)
+                # the victims' pods shrink with them — their limits must
+                # not keep claiming resources the containers no longer hold.
+                dvpa = self.dvpa_for(node.name)
+                for rr in evicted:
+                    dvpa.release(rr.request.spec.name, rr.allocation)
                 self.emitter.preemptive_eviction(
                     now_ms, node.name, spec.name, len(evicted)
                 )
@@ -121,13 +126,17 @@ class HRMManager:
                 self.preemption_squeezes += 1
                 self.emitter.be_squeezed(now_ms, node.name, freed)
 
-        overhead = 0.0
+        # the pod limit always tracks the admitted allocation; the scaling
+        # *latency* is only charged to the request when configured (the
+        # ablation keeps accounting honest but makes resizes free).
+        overhead = self.dvpa_for(node.name).grow(spec.name, demand)
         if self.config.charge_dvpa_latency:
-            overhead = self.dvpa_for(node.name).grow(spec.name, demand)
             if overhead > 0:
                 self.emitter.dvpa_resized(
                     now_ms, node.name, spec.name, overhead, "grow"
                 )
+        else:
+            overhead = 0.0
         return AdmitDecision(
             allocation=demand, overhead_ms=overhead, evicted=evicted or []
         )
@@ -183,6 +192,13 @@ class HRMManager:
                 bandwidth=rr.allocation.bandwidth,
                 disk=rr.allocation.disk,
             )
+            # grow the pod limit with the container: expansion without a
+            # D-VPA resize left usage above the pod limit (§4.2 cgroup
+            # flows), which the invariant checker flags.
+            self.dvpa_for(node.name).grow(
+                rr.request.spec.name,
+                ResourceVector(cpu=grow_cpu, memory=grow_mem),
+            )
             node.adjust_running_allocation(rr, new_alloc)
 
     # ------------------------------------------------------------------ #
@@ -235,6 +251,11 @@ class HRMManager:
                     bandwidth=rr.allocation.bandwidth,
                     disk=rr.allocation.disk,
                 ),
+            )
+            # shrink the pod limit in step (compressible squeeze is free —
+            # the release latency is not charged to anyone).
+            self.dvpa_for(node.name).release(
+                rr.request.spec.name, ResourceVector(cpu=take)
             )
             freed += take
         return freed

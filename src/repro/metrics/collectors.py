@@ -55,6 +55,11 @@ class RunMetrics:
     #: folded back with ``cluster_id % n_clusters`` (bad trace rows are
     #: counted, not silently remapped).
     trace_remapped: int = 0
+    #: runtime invariant violations observed (0 unless the invariant stage
+    #: is enabled *and* a law fails; soft mode keeps counting, strict mode
+    #: raises on the first one).
+    invariant_violations: int = 0
+    invariant_violations_by_law: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # headline numbers

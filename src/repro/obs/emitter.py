@@ -37,6 +37,7 @@ from repro.obs.events import (
     BESqueezed,
     DispatchRound,
     DVPAResized,
+    InvariantViolated,
     NodeCrashed,
     NodeRecovered,
     PartitionHealed,
@@ -148,6 +149,12 @@ class NullEmitter:
 
     def reassurance_transition(
         self, time_ms: float, node: str, service: str, previous: str, level: str
+    ) -> None:
+        pass
+
+    # -- invariants ---------------------------------------------------- #
+    def invariant_violation(
+        self, time_ms: float, law: str, message: str, node: str, service: str
     ) -> None:
         pass
 
@@ -391,5 +398,19 @@ class BusEmitter(NullEmitter):
                 service=service,
                 previous=previous,
                 level=level,
+            )
+        )
+
+    # -- invariants ---------------------------------------------------- #
+    def invariant_violation(
+        self, time_ms: float, law: str, message: str, node: str, service: str
+    ) -> None:
+        self.bus.publish(
+            InvariantViolated(
+                time_ms=time_ms,
+                law=law,
+                message=message,
+                node=node,
+                service=service,
             )
         )

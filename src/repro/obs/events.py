@@ -31,6 +31,7 @@ hrm.preemptive_eviction   HRM — incompressible reclaim evicted BE victims
 hrm.reassurance           re-assurance — (node, service) level transition
 runner.period             runner — one 800 ms metrics period sampled
 runner.stage_profile      runner — end-of-run stage wall-clock totals
+invariant.violation       invariant stage — a runtime conservation law failed
 ========================  ====================================================
 """
 
@@ -60,6 +61,7 @@ __all__ = [
     "ReassuranceTransition",
     "PeriodSampled",
     "StageProfile",
+    "InvariantViolated",
 ]
 
 
@@ -276,3 +278,19 @@ class StageProfile(Event):
 
     kind: ClassVar[str] = "runner.stage_profile"
     stage_ms: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class InvariantViolated(Event):
+    """A runtime conservation/capacity law failed this tick.
+
+    ``law`` names the check (``request-conservation``, ``node-resources``,
+    ``dvpa-limits``, ``snapshot-coherence``, ``dispatch-capacity``);
+    ``node``/``service`` are filled when the law localises to one.
+    """
+
+    kind: ClassVar[str] = "invariant.violation"
+    law: str = ""
+    message: str = ""
+    node: str = ""
+    service: str = ""

@@ -124,7 +124,9 @@ class ObservabilityHub:
                     if not spec.is_lc:
                         continue
                     for node in system.all_workers():
-                        slack = detector.slack_score(node.name, spec.name, spec)
+                        slack = detector.slack_score(
+                            node.name, spec.name, spec, now_ms=now_ms
+                        )
                         if slack is not None:
                             slack_g.set(
                                 slack, service=spec.name, node=node.name

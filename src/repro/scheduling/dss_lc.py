@@ -41,7 +41,69 @@ from repro.workloads.spec import ServiceSpec
 from .base import Assignment, group_by_type
 from .priority import PriorityPolicy, RandomPriority, make_priority
 
-__all__ = ["DSSLCConfig", "DSSLCScheduler"]
+__all__ = [
+    "DSSLCConfig",
+    "DSSLCScheduler",
+    "DispatchAuditRecord",
+    "augmented_capacities",
+]
+
+
+def augmented_capacities(
+    total_units: Sequence[int], n_queued: int
+) -> List[int]:
+    """Eq. 7–8: scale total-resource units by λ so Σ capacities = |R'_k|.
+
+    Uses largest-remainder rounding so the integral capacities still sum to
+    exactly the queued count (the paper's λ guarantees this in the
+    continuous formulation).  Module-level so the invariant checker can
+    recompute the bound from audited raw inputs.
+    """
+    total = sum(total_units)
+    if total <= 0:
+        # degenerate topology: spread uniformly
+        base = [n_queued // len(total_units)] * len(total_units)
+        for i in range(n_queued - sum(base)):
+            base[i % len(base)] += 1
+        return base
+    lam = n_queued / total
+    raw = [u * lam for u in total_units]
+    floors = [int(x) for x in raw]
+    shortfall = n_queued - sum(floors)
+    remainders = sorted(
+        range(len(raw)), key=lambda i: raw[i] - floors[i], reverse=True
+    )
+    for i in remainders[:shortfall]:
+        floors[i] += 1
+    return floors
+
+
+@dataclass
+class DispatchAuditRecord:
+    """Raw inputs + outcome of one per-type dispatch round.
+
+    The invariant checker re-derives the Eq. 2 / Eq. 7–8 bounds from these
+    *inputs* with the independent scalar path in :mod:`repro.flow.reference`
+    and checks the recorded placement counts against them — auditing the
+    decision, not trusting the scheduler's own arithmetic.
+    """
+
+    service: str
+    node_names: List[str]
+    cpu_available: List[float]
+    mem_available: List[float]
+    cpu_total: List[float]
+    mem_total: List[float]
+    lc_queue: List[int]
+    r_cpu: List[float]
+    r_mem: List[float]
+    target_fill: float
+    #: immediate (case-1 / R_k) placements per node this round.
+    immediate_counts: List[int]
+    #: queued-path (R'_k, Ĝ'_k) placements per node this round.
+    queued_counts: List[int]
+    #: size of the queued remainder handed to Ĝ'_k (post max_queue_push cap).
+    n_queued: int
 
 
 @dataclass
@@ -109,6 +171,10 @@ class DSSLCScheduler:
         #: per-node resource columns (cpu/mem available+total, lc queue)
         #: as arrays, keyed and pinned the same way as the minima cache.
         self._node_array_cache: Dict[int, tuple] = {}
+        #: when set (by the runner with invariant checking on), every
+        #: per-type dispatch round appends a :class:`DispatchAuditRecord`;
+        #: the invariant stage drains it each tick.  None = no recording.
+        self.audit_log: Optional[List[DispatchAuditRecord]] = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -188,6 +254,10 @@ class DSSLCScheduler:
             placed = self._solve_and_assign(
                 origin_cluster, requests, nodes, capacities, snapshot
             )
+            if self.audit_log is not None:
+                self._record_audit(
+                    spec, nodes, r_cpu, r_mem, placed, [], 0
+                )
             return placed
 
         # case 2: split via the configured ρ(·) policy (paper default:
@@ -199,19 +269,77 @@ class DSSLCScheduler:
         assignments = self._solve_and_assign(
             origin_cluster, immediate, nodes, capacities, snapshot
         )
+        immediate_assignments = list(assignments)
 
         queued = queued[: self.config.max_queue_push]
+        queued_assignments: List[Assignment] = []
         if queued:
             total_units = np.minimum(
                 cpu_tot / r_cpu, mem_tot / r_mem
             ).astype(np.int64)
-            aug_caps = self._augmented_capacities(total_units, len(queued))
-            assignments.extend(
-                self._solve_and_assign(
-                    origin_cluster, queued, nodes, aug_caps, snapshot
-                )
+            # Ĝ'_k capacities come from *remaining* total resources: the
+            # immediate placements of this very round and the requests
+            # already queued at each node consume capacity units, so both
+            # are deducted before the λ scaling of Eqs. 7-8 (counting the
+            # raw totals twice over-assigned busy nodes).
+            placed_now = np.zeros(len(nodes), dtype=np.int64)
+            index_of = {n.name: i for i, n in enumerate(nodes)}
+            for a in immediate_assignments:
+                placed_now[index_of[a.node_name]] += 1
+            adjusted = np.maximum(0, total_units - placed_now - lc_q)
+            aug_caps = self._augmented_capacities(
+                [int(u) for u in adjusted], len(queued)
+            )
+            queued_assignments = self._solve_and_assign(
+                origin_cluster, queued, nodes, aug_caps, snapshot
+            )
+            assignments.extend(queued_assignments)
+        if self.audit_log is not None:
+            self._record_audit(
+                spec,
+                nodes,
+                r_cpu,
+                r_mem,
+                immediate_assignments,
+                queued_assignments,
+                len(queued),
             )
         return assignments
+
+    def _record_audit(
+        self,
+        spec: ServiceSpec,
+        nodes: List[NodeSnapshot],
+        r_cpu,
+        r_mem,
+        immediate: List[Assignment],
+        queued: List[Assignment],
+        n_queued: int,
+    ) -> None:
+        index_of = {n.name: i for i, n in enumerate(nodes)}
+        immediate_counts = [0] * len(nodes)
+        for a in immediate:
+            immediate_counts[index_of[a.node_name]] += 1
+        queued_counts = [0] * len(nodes)
+        for a in queued:
+            queued_counts[index_of[a.node_name]] += 1
+        self.audit_log.append(
+            DispatchAuditRecord(
+                service=spec.name,
+                node_names=[n.name for n in nodes],
+                cpu_available=[n.cpu_available for n in nodes],
+                mem_available=[n.mem_available for n in nodes],
+                cpu_total=[n.cpu_total for n in nodes],
+                mem_total=[n.mem_total for n in nodes],
+                lc_queue=[n.lc_queue for n in nodes],
+                r_cpu=[float(x) for x in r_cpu],
+                r_mem=[float(x) for x in r_mem],
+                target_fill=self.config.target_fill,
+                immediate_counts=immediate_counts,
+                queued_counts=queued_counts,
+                n_queued=n_queued,
+            )
+        )
 
     # ------------------------------------------------------------------ #
     # coordinated (true multi-commodity) dispatch
@@ -283,9 +411,21 @@ class DSSLCScheduler:
                 self.case2_rounds += 1
                 spec = leftover[0].spec
                 r_cpu, r_mem = self._per_request_minima(spec, nodes)
+                # remaining totals: deduct this round's joint-solve
+                # placements and each node's existing backlog, mirroring
+                # the per-type case-2 path.
+                placed_now = [0] * len(nodes)
+                index_of = {n.name: i for i, n in enumerate(nodes)}
+                for a in assignments:
+                    placed_now[index_of[a.node_name]] += 1
                 total_units = [
-                    self._node_units(
-                        n.cpu_total, n.mem_total, r_cpu[i], r_mem[i]
+                    max(
+                        0,
+                        self._node_units(
+                            n.cpu_total, n.mem_total, r_cpu[i], r_mem[i]
+                        )
+                        - placed_now[i]
+                        - n.lc_queue,
                     )
                     for i, n in enumerate(nodes)
                 ]
@@ -361,29 +501,8 @@ class DSSLCScheduler:
     def _augmented_capacities(
         self, total_units: List[int], n_queued: int
     ) -> List[int]:
-        """Eq. 7–8: scale total-resource units by λ so Σ capacities = |R'_k|.
-
-        Uses largest-remainder rounding so the integral capacities still sum
-        to exactly the queued count (the paper's λ guarantees this in the
-        continuous formulation).
-        """
-        total = sum(total_units)
-        if total <= 0:
-            # degenerate topology: spread uniformly
-            base = [n_queued // len(total_units)] * len(total_units)
-            for i in range(n_queued - sum(base)):
-                base[i % len(base)] += 1
-            return base
-        lam = n_queued / total
-        raw = [u * lam for u in total_units]
-        floors = [int(x) for x in raw]
-        shortfall = n_queued - sum(floors)
-        remainders = sorted(
-            range(len(raw)), key=lambda i: raw[i] - floors[i], reverse=True
-        )
-        for i in remainders[:shortfall]:
-            floors[i] += 1
-        return floors
+        """Eq. 7–8 λ scaling; see :func:`augmented_capacities`."""
+        return augmented_capacities(total_units, n_queued)
 
     # ------------------------------------------------------------------ #
     # graph construction + flow solve

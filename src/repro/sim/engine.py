@@ -73,6 +73,11 @@ class DeliveryQueue:
     def peek_next_ms(self) -> Optional[float]:
         return self._heap[0][0] if self._heap else None
 
+    def items(self) -> List[Any]:
+        """All in-flight payloads, in arbitrary (heap) order — read-only
+        inspection for conservation accounting."""
+        return [entry[2] for entry in self._heap]
+
     # -- Checkpointable ------------------------------------------------ #
     def snapshot_state(self) -> Dict[str, Any]:
         return {"heap": self._heap, "counter": self._counter}

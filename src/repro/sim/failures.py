@@ -68,6 +68,10 @@ class FailureInjector:
         self._next_crash_ms = self._draw(self.config.node_mtbf_ms, 0.0)
         self._next_partition_ms = self._draw(self.config.partition_mtbf_ms, 0.0)
         self.events: List[FailureEvent] = []
+        #: node names crashed during the most recent :meth:`apply` call —
+        #: read by the failures stage to purge per-node derived state
+        #: (QoS windows, re-assurance minima) that outlives the crash.
+        self.last_crashed: List[str] = []
         #: observability bus; assigned by the runner, None when disabled
         #: (kept for introspection — emissions go through the emitter).
         self.bus = None
@@ -98,6 +102,7 @@ class FailureInjector:
     def apply(self, now_ms: float) -> List[ServiceRequest]:
         """Advance failure state; returns requests displaced this tick."""
         displaced: List[ServiceRequest] = []
+        self.last_crashed = []
 
         # recoveries / heals
         for name in [n for n, t in self._down_nodes.items() if now_ms >= t]:
@@ -144,6 +149,7 @@ class FailureInjector:
 
     def _crash(self, worker, now_ms: float) -> List[ServiceRequest]:
         self._down_nodes[worker.name] = now_ms + self.config.node_downtime_ms
+        self.last_crashed.append(worker.name)
         self.events.append(FailureEvent(now_ms, "crash", worker.name))
         self.emitter.node_crashed(
             now_ms,

@@ -43,7 +43,8 @@ __all__ = [
 
 logger = logging.getLogger(__name__)
 
-#: canonical stage order (``failures`` present only with an injector).
+#: canonical stage order (``failures`` present only with an injector,
+#: ``invariants`` only with ``RunnerConfig.check_invariants``).
 STAGE_NAMES = (
     "arrivals",
     "failures",
@@ -54,6 +55,7 @@ STAGE_NAMES = (
     "step",
     "reassure",
     "metrics",
+    "invariants",
 )
 
 
@@ -88,6 +90,8 @@ class SimContext:
     checker: Any = None
     hub: Any = None
     sample_gauges: bool = False
+    #: runtime invariant checker (None unless check_invariants is on).
+    invariants: Any = None
 
     # live run state
     trace_cursor: int = 0
@@ -223,13 +227,25 @@ class FailuresStage(Stage):
                 ctx.emit.abandoned(now_ms, request, "crash")
             elif request.is_lc:
                 # queued LC survives the crash: back to its origin master.
+                # Placement fields point at the dead node and must not leak
+                # into the next dispatch round (the patience deadline keys
+                # off arrival_ms and is deliberately left alone).
+                request.clear_assignment()
                 ctx.system.cluster(request.origin_cluster).receive(request)
                 ctx.emit.requeued(now_ms, request)
             else:
                 ctx.emit.evicted(
                     now_ms, request, request.target_node or "", "crash"
                 )
+                request.clear_assignment()
                 requeue_evicted(ctx, request, now_ms)
+        # a crashed node restarts cold: its QoS windows describe a process
+        # tree that no longer exists, so stale tails must not keep feeding
+        # δ into re-assurance and DCG-BE's node state.
+        detector = getattr(ctx.storage, "detector", None)
+        if detector is not None:
+            for name in ctx.injector.last_crashed:
+                detector.purge_node(name)
 
 
 class RefreshStage(Stage):
@@ -424,8 +440,11 @@ class MetricsStage(Stage):
 # ---------------------------------------------------------------------- #
 # pipelines
 # ---------------------------------------------------------------------- #
-def build_stages(*, include_failures: bool) -> List[Stage]:
-    """The canonical stage list; ``failures`` only with an injector."""
+def build_stages(
+    *, include_failures: bool, include_invariants: bool = False
+) -> List[Stage]:
+    """The canonical stage list; ``failures`` only with an injector,
+    ``invariants`` only when the runner enables checking."""
     stages: List[Stage] = [ArrivalsStage()]
     if include_failures:
         stages.append(FailuresStage())
@@ -440,6 +459,12 @@ def build_stages(*, include_failures: bool) -> List[Stage]:
             MetricsStage(),
         ]
     )
+    if include_invariants:
+        # imported here: invariants imports Stage/SimContext from this
+        # module, so the edge must stay one-directional at import time.
+        from repro.sim.invariants import InvariantStage
+
+        stages.append(InvariantStage())
     return stages
 
 

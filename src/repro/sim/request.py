@@ -136,6 +136,17 @@ class ServiceRequest:
         self.state = RequestState.ABANDONED
         self.completed_ms = None
 
+    def clear_assignment(self) -> None:
+        """Reset placement/progress fields when a request re-enters the
+        master queue (eviction or node crash).  The patience deadline is
+        intentionally *not* touched: it anchors to the original arrival, so
+        requeueing cannot grant an LC request extra patience."""
+        self.target_cluster = None
+        self.target_node = None
+        self.dispatched_ms = None
+        self.node_arrival_ms = None
+        self.started_ms = None
+
     def __repr__(self) -> str:  # keep debug output short
         return (
             f"<Req {self.request_id} {self.spec.name} "

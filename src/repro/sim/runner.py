@@ -85,6 +85,14 @@ class RunnerConfig:
     trace_capacity: int = 100_000
     #: run the invariant checker every tick (a few % overhead; CI uses it).
     validate: bool = False
+    #: run the runtime conservation-law checker every tick
+    #: (:mod:`repro.sim.invariants`): request conservation, node resource
+    #: accounting, D-VPA limit sums, snapshot coherence, and DSS-LC
+    #: dispatch-capacity audits against an independent scalar oracle.
+    check_invariants: bool = False
+    #: ``strict`` raises :class:`~repro.sim.invariants.InvariantViolationError`
+    #: on the first violation; ``soft`` counts + emits and keeps running.
+    invariant_mode: str = "strict"
     #: time each pipeline stage with :class:`repro.perf.StageProfiler`
     #: (exposed as ``runner.profiler``; ~0.1 % overhead).
     profile: bool = False
@@ -162,6 +170,20 @@ class SimulationRunner:
             from repro.sim.validation import InvariantChecker
 
             self.checker = InvariantChecker(system)
+        self.invariants = None
+        if self.config.check_invariants:
+            from repro.sim.invariants import RuntimeInvariantChecker
+
+            self.invariants = RuntimeInvariantChecker(
+                mode=self.config.invariant_mode
+            )
+        # The audit feed is (re)assigned unconditionally: schedulers are
+        # reused across runners by the system builders, so a checker-off
+        # run must not inherit (or keep growing) a previous run's log.
+        if hasattr(lc_scheduler, "audit_log"):
+            lc_scheduler.audit_log = (
+                [] if self.config.check_invariants else None
+            )
         # --- tick pipeline ------------------------------------------------
         self.ctx = SimContext(
             system=system,
@@ -182,11 +204,15 @@ class SimulationRunner:
             reassurance=reassurance,
             injector=self.injector,
             checker=self.checker,
+            invariants=self.invariants,
             hub=self.hub,
             sample_gauges=self.hub is not None and self.config.observe,
         )
         self.pipeline = TickPipeline(
-            build_stages(include_failures=self.injector is not None)
+            build_stages(
+                include_failures=self.injector is not None,
+                include_invariants=self.invariants is not None,
+            )
         )
 
     def _wire_publishers(self) -> None:

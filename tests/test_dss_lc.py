@@ -142,6 +142,83 @@ class TestCase2:
         out = sched.dispatch(0, requests(50), snapshot(nodes, 1), [0], 0.0)
         assert len(out) <= 1 + 3  # one immediate + capped queue push
 
+    def test_queued_graph_subtracts_immediate_assignments(self):
+        """Regression: Ĝ'_k capacities were built from total resources
+        without deducting this round's R_k placements, double-counting the
+        units the immediate graph just consumed and over-assigning the
+        exhausted node past its physical capacity."""
+        r_cpu = LC.min_resources.cpu
+        r_mem = LC.min_resources.memory
+        nodes = [
+            # "a": fully available but small — exactly 4 units, all of
+            # which the immediate R_k graph will consume
+            node("a", 0, r_cpu * 4.2, r_mem * 4.2,
+                 cpu_total=r_cpu * 4.5, mem_total=r_mem * 4.5),
+            # "b": nothing available now but a large total — the queued
+            # remainder's only legitimate destination
+            node("b", 1, r_cpu * 0.2, r_mem * 0.2,
+                 cpu_total=r_cpu * 12.5, mem_total=r_mem * 12.5),
+        ]
+        sched = DSSLCScheduler(DSSLCConfig(target_fill=1.0, seed=7))
+        out = sched.dispatch(0, requests(16), snapshot(nodes), [0, 1], 0.0)
+        assert len(out) == 16
+        assert sched.case2_rounds == 1
+        counts = {}
+        for a in out:
+            counts[a.node_name] = counts.get(a.node_name, 0) + 1
+        # before the fix "a" received 4 immediate + 3 queued = 7 > its
+        # 4-unit total; post-fix its queued share is zero
+        assert counts["a"] == 4
+        assert counts["b"] == 12
+
+    def test_boundary_at_exact_capacity(self):
+        """pending == total immediate capacity stays in case 1; one more
+        request tips into case 2 without over-assigning any node."""
+        r_cpu = LC.min_resources.cpu
+        r_mem = LC.min_resources.memory
+
+        def overloadable():
+            # each node absorbs exactly 3 requests immediately
+            return [
+                node("a", 0, r_cpu * 3.2, r_mem * 3.2),
+                node("b", 1, r_cpu * 3.2, r_mem * 3.2),
+            ]
+
+        for pending, case2 in ((5, 0), (6, 0), (7, 1)):
+            sched = DSSLCScheduler(DSSLCConfig(target_fill=1.0, seed=2))
+            out = sched.dispatch(
+                0, requests(pending), snapshot(overloadable()), [0, 1], 0.0
+            )
+            assert len(out) == pending, f"pending={pending}"
+            assert sched.case2_rounds == case2, f"pending={pending}"
+            counts = {}
+            for a in out:
+                counts[a.node_name] = counts.get(a.node_name, 0) + 1
+            # physical bound: never beyond a node's total units (16 cpu /
+            # r_cpu each with the default totals)
+            total_units = int(min(16.0 / r_cpu, 32768.0 / r_mem))
+            assert all(c <= total_units for c in counts.values())
+
+    def test_audit_records_round_inputs_and_counts(self):
+        sched = DSSLCScheduler(DSSLCConfig(seed=5))
+        sched.audit_log = []
+        r_cpu = LC.min_resources.cpu
+        r_mem = LC.min_resources.memory
+        nodes = [
+            node("big", 0, r_cpu * 1.2, r_mem * 1.2,
+                 cpu_total=12.0, mem_total=24576.0),
+            node("small", 1, r_cpu * 1.2, r_mem * 1.2,
+                 cpu_total=4.0, mem_total=8192.0),
+        ]
+        out = sched.dispatch(0, requests(10), snapshot(nodes), [0, 1], 0.0)
+        assert len(sched.audit_log) == 1
+        rec = sched.audit_log[0]
+        assert rec.service == LC.name
+        assert rec.node_names == ["big", "small"]
+        assert sum(rec.immediate_counts) + sum(rec.queued_counts) == len(out)
+        assert rec.n_queued == sum(rec.queued_counts)
+        assert rec.target_fill == sched.config.target_fill
+
 
 class TestCapacityCorrections:
     def test_headroom_reserves_contention_margin(self):

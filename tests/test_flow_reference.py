@@ -1,0 +1,236 @@
+"""Differential tests against the reference oracles in repro.flow.reference.
+
+Two production hot paths get an obviously-correct shadow here:
+
+* the pooled flat-array SSP+Johnson solver (:class:`MinCostMaxFlow`) vs the
+  textbook Bellman-Ford reference (:class:`ReferenceMCMF`) on randomized
+  graphs — equal max-flow value, equal minimum cost, and both sides
+  feasible (capacities respected, flow conserved);
+* the vectorized Eq. 2 capacity expression in DSS-LC vs its scalar
+  re-statement (:func:`eq2_capacities_scalar`) across dtypes and edge
+  values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flow.mcmf import MinCostMaxFlow
+from repro.flow.reference import (
+    ReferenceMCMF,
+    eq2_capacities_scalar,
+    node_units_scalar,
+)
+
+
+# ---------------------------------------------------------------------- #
+# randomized-graph strategy
+# ---------------------------------------------------------------------- #
+@st.composite
+def flow_networks(draw):
+    """(n_nodes, edges) with non-negative costs (no negative cycles)."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    n_edges = draw(st.integers(min_value=0, max_value=16))
+    edges = []
+    for _ in range(n_edges):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if src == dst:
+            continue
+        cap = draw(st.integers(min_value=0, max_value=20))
+        cost = draw(st.integers(min_value=0, max_value=50))
+        edges.append((src, dst, cap, cost))
+    return n, edges
+
+
+def _build(solver_cls, n, edges):
+    net = solver_cls(n)
+    for src, dst, cap, cost in edges:
+        net.add_edge(src, dst, cap, cost)
+    return net
+
+
+def _assert_feasible(result, edges, label):
+    assert len(result.edge_flows) == len(edges), label
+    for flow, (_, _, cap, _) in zip(result.edge_flows, edges):
+        assert 0 <= flow <= cap, f"{label}: edge flow {flow} outside [0, {cap}]"
+
+
+class TestArenaVsReference:
+    @settings(max_examples=120, deadline=None)
+    @given(flow_networks(), st.one_of(st.none(), st.integers(0, 15)))
+    def test_equal_value_and_cost(self, network, max_flow):
+        n, edges = network
+        arena = _build(MinCostMaxFlow, n, edges).solve(
+            0, n - 1, max_flow=max_flow
+        )
+        reference = _build(ReferenceMCMF, n, edges).solve(
+            0, n - 1, max_flow=max_flow
+        )
+        assert arena.flow == reference.flow
+        assert arena.cost == reference.cost
+        _assert_feasible(arena, edges, "arena")
+        _assert_feasible(reference, edges, "reference")
+
+    @settings(max_examples=60, deadline=None)
+    @given(flow_networks())
+    def test_both_sides_conserve_flow(self, network):
+        n, edges = network
+        arena = _build(MinCostMaxFlow, n, edges)
+        reference = _build(ReferenceMCMF, n, edges)
+        arena.solve(0, n - 1)
+        reference.solve(0, n - 1)
+        assert arena.flow_conservation_violations(0, n - 1) == {}
+        assert reference.flow_conservation_violations(0, n - 1) == {}
+
+    def test_agree_on_negative_cost_edge(self):
+        # the hypothesis strategy stays non-negative (negative cycles would
+        # make min-cost flow ill-defined); pin one acyclic negative case.
+        edges = [(0, 1, 2, -5), (1, 2, 2, 1)]
+        arena = _build(MinCostMaxFlow, 3, edges).solve(0, 2)
+        reference = _build(ReferenceMCMF, 3, edges).solve(0, 2)
+        assert (arena.flow, arena.cost) == (reference.flow, reference.cost)
+
+
+class TestReferenceSolver:
+    """Pin the oracle itself on hand-checked graphs."""
+
+    def test_spill_to_expensive_path(self):
+        net = ReferenceMCMF(4)
+        cheap = net.add_edge(0, 1, 4, 1)
+        net.add_edge(1, 3, 4, 1)
+        expensive = net.add_edge(0, 2, 10, 5)
+        net.add_edge(2, 3, 10, 5)
+        result = net.solve(0, 3, max_flow=6)
+        assert result.flow == 6
+        assert result.cost == 4 * 2 + 2 * 10
+        assert result.edge_flows[cheap] == 4
+        assert result.edge_flows[expensive] == 2
+
+    def test_disconnected_zero_flow(self):
+        net = ReferenceMCMF(4)
+        net.add_edge(0, 1, 5, 1)
+        net.add_edge(2, 3, 5, 1)
+        result = net.solve(0, 3)
+        assert (result.flow, result.cost) == (0, 0)
+
+    def test_negative_cycle_raises(self):
+        net = ReferenceMCMF(3)
+        net.add_edge(0, 1, 5, -2)
+        net.add_edge(1, 0, 5, -2)
+        net.add_edge(0, 2, 5, 1)
+        with pytest.raises(ValueError, match="negative-cost cycle"):
+            net.solve(0, 2)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ReferenceMCMF(0)
+        net = ReferenceMCMF(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 5, 1, 1)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1, 1)
+        with pytest.raises(ValueError):
+            net.solve(0, 0)
+
+
+# ---------------------------------------------------------------------- #
+# scalar vs vectorized Eq. 2
+# ---------------------------------------------------------------------- #
+def eq2_vectorized(
+    cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q, r_cpu, r_mem, target_fill
+):
+    """The exact numpy expression from DSSLCScheduler._dispatch_type."""
+    hold = 1.0 - target_fill
+    cpu_eff = np.maximum(0.0, cpu_ava - hold * cpu_tot)
+    mem_eff = np.maximum(0.0, mem_ava - hold * mem_tot)
+    units = np.minimum(cpu_eff / r_cpu, mem_eff / r_mem).astype(np.int64)
+    return np.maximum(0, units - lc_q)
+
+
+@st.composite
+def eq2_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    finite = st.floats(
+        min_value=0.0, max_value=1024.0, allow_nan=False, allow_infinity=False
+    )
+    cpu_tot = [draw(finite) for _ in range(n)]
+    mem_tot = [draw(finite) for _ in range(n)]
+    # availability never exceeds the total in a real snapshot
+    cpu_ava = [draw(st.floats(0.0, max(t, 1e-9))) for t in cpu_tot]
+    mem_ava = [draw(st.floats(0.0, max(t, 1e-9))) for t in mem_tot]
+    r = st.floats(
+        min_value=1e-3, max_value=64.0, allow_nan=False, allow_infinity=False
+    )
+    r_cpu = [draw(r) for _ in range(n)]
+    r_mem = [draw(r) for _ in range(n)]
+    lc_q = [draw(st.integers(0, 50)) for _ in range(n)]
+    target_fill = draw(st.floats(0.0, 1.0))
+    return cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q, r_cpu, r_mem, target_fill
+
+
+class TestEq2ScalarVsVectorized:
+    @settings(max_examples=200, deadline=None)
+    @given(eq2_inputs())
+    def test_equivalent_on_float64(self, inputs):
+        cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q, r_cpu, r_mem, fill = inputs
+        vec = eq2_vectorized(
+            np.array(cpu_ava),
+            np.array(mem_ava),
+            np.array(cpu_tot),
+            np.array(mem_tot),
+            np.array(lc_q, dtype=np.int64),
+            np.array(r_cpu),
+            np.array(r_mem),
+            fill,
+        )
+        scalar = eq2_capacities_scalar(
+            cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q, r_cpu, r_mem, fill
+        )
+        assert scalar == vec.tolist()
+
+    @settings(max_examples=60, deadline=None)
+    @given(eq2_inputs())
+    def test_equivalent_on_float32_inputs(self, inputs):
+        # snapshots may carry narrower dtypes; both paths must agree after
+        # the identical float32 → float64 promotion.
+        cpu_ava, mem_ava, cpu_tot, mem_tot, lc_q, r_cpu, r_mem, fill = inputs
+        as32 = lambda xs: np.array(xs, dtype=np.float32).astype(np.float64)
+        vec = eq2_vectorized(
+            as32(cpu_ava), as32(mem_ava), as32(cpu_tot), as32(mem_tot),
+            np.array(lc_q, dtype=np.int64), as32(r_cpu), as32(r_mem), fill,
+        )
+        scalar = eq2_capacities_scalar(
+            as32(cpu_ava).tolist(),
+            as32(mem_ava).tolist(),
+            as32(cpu_tot).tolist(),
+            as32(mem_tot).tolist(),
+            lc_q,
+            as32(r_cpu).tolist(),
+            as32(r_mem).tolist(),
+            fill,
+        )
+        assert scalar == vec.tolist()
+
+    def test_edge_values(self):
+        # holdback swallowing all availability; zero totals; backlog beyond
+        # capacity; units exactly at an integer boundary.
+        assert eq2_capacities_scalar(
+            [10.0], [100.0], [100.0], [1000.0], [0], [1.0], [10.0], 0.85
+        ) == [0]
+        assert eq2_capacities_scalar(
+            [0.0], [0.0], [0.0], [0.0], [0], [1.0], [1.0], 0.85
+        ) == [0]
+        assert eq2_capacities_scalar(
+            [8.0], [16.0], [8.0], [16.0], [99], [1.0], [2.0], 1.0
+        ) == [0]
+        assert eq2_capacities_scalar(
+            [8.0], [16.0], [8.0], [16.0], [3], [1.0], [2.0], 1.0
+        ) == [5]
+
+    def test_node_units_guards_nonpositive_minima(self):
+        assert node_units_scalar(8.0, 16.0, 0.0, 1.0) == 0
+        assert node_units_scalar(8.0, 16.0, 1.0, -2.0) == 0
+        assert node_units_scalar(8.0, 16.0, 2.0, 4.0) == 4

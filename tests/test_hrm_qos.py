@@ -53,6 +53,63 @@ class TestDetector:
         det.observe("n0", lc_spec.name, 0.0, 10.0)
         assert det.tail_latency_ms("n1", lc_spec.name) is None
 
+    def test_expire_on_read_drops_stale_tail(self, lc_spec):
+        """Regression: a window that stops receiving completions must not
+        report its last tail forever once the reader passes ``now_ms``."""
+        det = QoSDetector(window_ms=100.0, min_keep=2)
+        for i in range(10):
+            det.observe("n0", lc_spec.name, float(i * 10), 500.0)
+        det.observe("n0", lc_spec.name, 100.0, 1.0)
+        det.observe("n0", lc_spec.name, 101.0, 2.0)
+        # without now_ms the old samples still dominate the percentile
+        assert det.tail_latency_ms("n0", lc_spec.name) > 100.0
+        # a read far past the window keeps only the min_keep floor — the
+        # two fresh samples — so the stale 500 ms tail is gone
+        tail = det.tail_latency_ms("n0", lc_spec.name, now_ms=1_000.0)
+        assert tail == pytest.approx(1.95)
+        assert det.sample_count("n0", lc_spec.name) == 2
+
+    def test_expire_on_read_honors_min_keep(self, lc_spec):
+        det = QoSDetector(window_ms=100.0, min_keep=4)
+        for i in range(6):
+            det.observe("n0", lc_spec.name, float(i), 50.0)
+        det.tail_latency_ms("n0", lc_spec.name, now_ms=10_000.0)
+        assert det.sample_count("n0", lc_spec.name) == 4
+
+    def test_expire_on_read_deterministic(self, lc_spec):
+        """Two detectors fed identically and read identically agree, no
+        matter how reads interleave with observes."""
+        a = QoSDetector(window_ms=100.0, min_keep=2)
+        b = QoSDetector(window_ms=100.0, min_keep=2)
+        for det in (a, b):
+            for i in range(10):
+                det.observe("n0", lc_spec.name, float(i * 30), float(i))
+        a.tail_latency_ms("n0", lc_spec.name, now_ms=150.0)  # extra read
+        assert a.tail_latency_ms(
+            "n0", lc_spec.name, now_ms=300.0
+        ) == b.tail_latency_ms("n0", lc_spec.name, now_ms=300.0)
+
+    def test_purge_node_clears_all_state(self, catalog):
+        lc = [s for s in catalog if s.is_lc][:2]
+        det = QoSDetector()
+        for spec in lc:
+            for _ in range(5):
+                det.observe("n0", spec.name, 0.0, 10.0)
+                det.observe("n1", spec.name, 0.0, 10.0)
+        det.tail_latency_ms("n0", lc[0].name)  # populate the memo cache
+        det.purge_node("n0")
+        assert det.sample_count("n0", lc[0].name) == 0
+        assert det._node_services.get("n0") is None
+        assert all(key[0] != "n0" for key in det._samples)
+        assert all(key[0] != "n0" for key in det._tail_cache)
+        # other nodes untouched
+        assert det.sample_count("n1", lc[0].name) == 5
+        # slack queries after the purge behave like a cold node
+        specs = {s.name: s for s in lc}
+        assert det.node_min_slack("n0", specs) == 1.0
+        # purging a node that never reported is a no-op
+        det.purge_node("never-seen")
+
     def test_node_min_slack_over_services(self, catalog):
         lc = [s for s in catalog if s.is_lc][:2]
         det = QoSDetector()

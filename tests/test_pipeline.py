@@ -62,11 +62,21 @@ class TestStageDecomposition:
     def test_stage_names_without_injector(self):
         system = small_system()
         runner = build_runner(system, [])
-        expected = [n for n in STAGE_NAMES if n != "failures"]
+        expected = [
+            n for n in STAGE_NAMES if n not in ("failures", "invariants")
+        ]
         assert runner.pipeline.stage_names() == expected
 
     def test_failures_stage_present_with_injector(self):
         system = small_system(failures=FailureConfig())
+        runner = build_runner(system, [])
+        expected = [n for n in STAGE_NAMES if n != "invariants"]
+        assert runner.pipeline.stage_names() == expected
+
+    def test_all_stages_present_with_checker_and_injector(self):
+        system = small_system(
+            failures=FailureConfig(), check_invariants=True
+        )
         runner = build_runner(system, [])
         assert runner.pipeline.stage_names() == list(STAGE_NAMES)
 
@@ -85,7 +95,7 @@ class TestStageDecomposition:
         metrics = system.run(trace)
         assert metrics.lc_arrived > 0
         stage_ms = system.last_runner.profiler.stage_ms()
-        expected = set(STAGE_NAMES) - {"failures"}
+        expected = set(STAGE_NAMES) - {"failures", "invariants"}
         assert expected.issubset(stage_ms)
 
     def test_profiled_run_matches_unprofiled(self):
