@@ -5,10 +5,16 @@ checked-in ``BENCH_PR1.json``, and exits non-zero when throughput dropped
 more than the tolerance.  On success the JSON is rewritten in place with
 the fresh "after" measurement (the recorded "before" baseline is kept).
 
-Also runs the invariant-checker parity gate: one small workload twice,
-with and without ``check_invariants`` — the checker must report zero
-violations and the two RunMetrics fingerprints must be bit-identical
-(the checker observes, it never steers).
+Also runs two parity gates, each reporting mismatches as a readable
+per-field diff table (``repro.metrics.fingerprint``), never a bare
+assert:
+
+* invariant gate — one small workload twice, with and without
+  ``check_invariants``: zero violations, bit-identical fingerprints
+  (the checker observes, it never steers);
+* shard gate — the same workload serial vs sharded across 2 shards:
+  bit-identical fingerprints, with both wall times recorded into the
+  benchmark JSON under ``"sharded"``.
 
 Usage::
 
@@ -21,65 +27,62 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+from repro.metrics.fingerprint import (  # noqa: E402
+    format_fingerprint_diff,
+    metrics_fingerprint,
+)
 from repro.perf.bench import run_bench, write_bench_json  # noqa: E402
 
 BENCH_PATH = os.path.normpath(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_PR1.json")
 )
 
-
-def _fingerprint(metrics) -> dict:
-    # mirrors tests/test_perf_determinism.py — the seed fingerprint shape
-    return {
-        "lc_arrived": metrics.lc_arrived,
-        "lc_completed": metrics.lc_completed,
-        "lc_satisfied": metrics.lc_satisfied,
-        "lc_abandoned": metrics.lc_abandoned,
-        "be_arrived": metrics.be_arrived,
-        "be_completed": metrics.be_completed,
-        "be_evictions": metrics.be_evictions,
-        "lc_latency_sum": round(sum(metrics.lc_latencies_ms), 6),
-        "utilization": [round(u, 12) for u in metrics.utilization],
-        "qos_rate_per_period": [
-            round(r, 12) for r in metrics.qos_rate_per_period
-        ],
-        "per_service": {
-            k: list(v) for k, v in sorted(metrics.per_service.items())
-        },
-    }
+GATE_DURATION_MS = 6_000.0
 
 
-def invariant_gate() -> int:
-    """Checker on vs off: zero violations, bit-identical fingerprints."""
+def _gate_run(check_invariants: bool = False, shards: int = 0):
+    """One small-workload run for the parity gates."""
     from repro.cluster.topology import TopologyConfig
     from repro.core.config import TangoConfig
     from repro.core.tango import TangoSystem
     from repro.sim.runner import RunnerConfig
     from repro.workloads.trace import SyntheticTrace, TraceConfig
 
-    duration = 6_000.0
     trace = SyntheticTrace(
-        TraceConfig(n_clusters=3, duration_ms=duration, seed=1)
+        TraceConfig(n_clusters=3, duration_ms=GATE_DURATION_MS, seed=1)
     ).generate()
+    config = TangoConfig.tango(
+        topology=TopologyConfig(n_clusters=3, workers_per_cluster=3, seed=1),
+        runner=RunnerConfig(
+            duration_ms=GATE_DURATION_MS,
+            check_invariants=check_invariants,
+            shards=shards,
+            parallel_backend="serial",
+        ),
+    )
+    system = TangoSystem(config)
+    start = time.perf_counter()
+    metrics = system.run(trace)
+    wall_s = time.perf_counter() - start
+    system.last_runner.close()
+    return metrics, wall_s
 
-    def run(check_invariants: bool):
-        config = TangoConfig.tango(
-            topology=TopologyConfig(
-                n_clusters=3, workers_per_cluster=3, seed=1
-            ),
-            runner=RunnerConfig(
-                duration_ms=duration, check_invariants=check_invariants
-            ),
-        )
-        return TangoSystem(config).run(trace)
 
-    off = run(False)
-    on = run(True)
+def _parity_fail(what: str, want: dict, got: dict, labels) -> None:
+    print(f"FAIL: {what}", file=sys.stderr)
+    print(format_fingerprint_diff(want, got, labels=labels), file=sys.stderr)
+
+
+def invariant_gate() -> int:
+    """Checker on vs off: zero violations, bit-identical fingerprints."""
+    off, _ = _gate_run(check_invariants=False)
+    on, _ = _gate_run(check_invariants=True)
     status = 0
     if on.invariant_violations:
         print(
@@ -88,11 +91,14 @@ def invariant_gate() -> int:
             file=sys.stderr,
         )
         status = 1
-    if _fingerprint(on) != _fingerprint(off):
-        print(
-            "FAIL: invariant checker changed the run fingerprint — the "
-            "checker must observe, never steer",
-            file=sys.stderr,
+    fp_off, fp_on = metrics_fingerprint(off), metrics_fingerprint(on)
+    if fp_on != fp_off:
+        _parity_fail(
+            "invariant checker changed the run fingerprint — the checker "
+            "must observe, never steer",
+            fp_off,
+            fp_on,
+            labels=("checker-off", "checker-on"),
         )
         status = 1
     if status == 0:
@@ -101,6 +107,34 @@ def invariant_gate() -> int:
             "bit-identical"
         )
     return status
+
+
+def shard_gate() -> "tuple[int, dict]":
+    """Serial vs 2-shard run: bit-identical fingerprints, timings kept."""
+    serial, serial_wall = _gate_run()
+    sharded, sharded_wall = _gate_run(shards=2)
+    timings = {
+        "shards": 2,
+        "backend": "serial",
+        "serial_wall_s": round(serial_wall, 3),
+        "sharded_wall_s": round(sharded_wall, 3),
+    }
+    fp_serial = metrics_fingerprint(serial)
+    fp_sharded = metrics_fingerprint(sharded)
+    if fp_sharded != fp_serial:
+        _parity_fail(
+            "sharded run diverged from serial — the merge barrier must "
+            "be deterministic",
+            fp_serial,
+            fp_sharded,
+            labels=("serial", "sharded"),
+        )
+        return 1, timings
+    print(
+        f"shard gate: serial/sharded fingerprints bit-identical "
+        f"({timings['serial_wall_s']}s vs {timings['sharded_wall_s']}s wall)"
+    )
+    return 0, timings
 
 
 def main() -> int:
@@ -141,6 +175,9 @@ def main() -> int:
         )
         status = 1
     status |= invariant_gate()
+    shard_status, shard_timings = shard_gate()
+    status |= shard_status
+    result["sharded"] = shard_timings
     before = None
     if recorded is not None:
         before = recorded.get("before")

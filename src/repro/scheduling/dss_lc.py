@@ -39,7 +39,7 @@ from repro.sim.request import ServiceRequest
 from repro.workloads.spec import ServiceSpec
 
 from .base import Assignment, group_by_type
-from .priority import PriorityPolicy, RandomPriority, make_priority
+from .priority import PriorityPolicy, make_priority
 
 __all__ = [
     "DSSLCConfig",
@@ -147,9 +147,17 @@ class DSSLCScheduler:
         self.config = config or DSSLCConfig()
         self.reassurance = reassurance
         self.rng = np.random.default_rng(self.config.seed)
-        self.priority: PriorityPolicy = make_priority(
-            self.config.priority, seed=self.config.seed
-        )
+        #: per-master ρ(·) policies, lazily built with seed
+        #: ``(config.seed, origin_cluster)``.  Each master runs Alg. 2
+        #: independently in the paper, so each owns an independent random
+        #: stream — this is also what makes per-master dispatch rounds
+        #: order-free, which the sharded execution backend relies on.
+        self._priorities: Dict[int, PriorityPolicy] = {}
+        #: when set, :meth:`_per_request_minima` serves these
+        #: ``{service: (r_cpu, r_mem)}`` vectors instead of querying the
+        #: re-assurance mechanism — shard workers receive pre-resolved
+        #: minima because they do not hold the HRM objects.
+        self._minima_override: Optional[Dict[str, tuple]] = None
         self.decision_latencies_ms: List[float] = []
         self.case2_rounds = 0
         #: observability bus; assigned by the runner, None when disabled
@@ -179,6 +187,27 @@ class DSSLCScheduler:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
+    def priority_for(self, origin_cluster: int) -> PriorityPolicy:
+        """The master's own ρ(·) policy (independent stream per master)."""
+        policy = self._priorities.get(origin_cluster)
+        if policy is None:
+            policy = make_priority(
+                self.config.priority, seed=(self.config.seed, origin_cluster)
+            )
+            self._priorities[origin_cluster] = policy
+        return policy
+
+    def minima_for(
+        self, spec: ServiceSpec, nodes: List[NodeSnapshot]
+    ) -> tuple:
+        """Resolved per-node ``(r^c_k, r^m_k)`` vectors for ``spec``.
+
+        Public so the sharded backend can pre-resolve minima in the parent
+        (where the re-assurance mechanism lives) and ship plain arrays to
+        workers via :attr:`_minima_override`.
+        """
+        return self._per_request_minima(spec, nodes)
+
     def dispatch(
         self,
         origin_cluster: int,
@@ -263,7 +292,9 @@ class DSSLCScheduler:
         # case 2: split via the configured ρ(·) policy (paper default:
         # random — all LC types share one priority in their scenario).
         self.case2_rounds += 1
-        ordered = self.priority.order(requests, snapshot.time_ms)
+        ordered = self.priority_for(origin_cluster).order(
+            requests, snapshot.time_ms
+        )
         immediate = ordered[:total_capacity]
         queued = ordered[total_capacity:]
         assignments = self._solve_and_assign(
@@ -449,6 +480,10 @@ class DSSLCScheduler:
         control loop fires, so successive dispatch rounds within a snapshot
         period reuse the same vectors.
         """
+        if self._minima_override is not None:
+            entry = self._minima_override.get(spec.name)
+            if entry is not None:
+                return entry
         version = self.reassurance.version if self.reassurance is not None else 0
         key = (spec.name, id(nodes))
         cached = self._minima_cache.get(key)
@@ -582,11 +617,12 @@ class DSSLCScheduler:
         checks) and are rebuilt, not restored."""
         return {
             "rng": self.rng.bit_generator.state,
-            "priority_rng": (
-                self.priority.rng.bit_generator.state
-                if hasattr(self.priority, "rng")
-                else None
-            ),
+            # one stream per master; stateless policies contribute nothing
+            "priority_rngs": {
+                cid: policy.rng.bit_generator.state
+                for cid, policy in sorted(self._priorities.items())
+                if hasattr(policy, "rng")
+            },
             "decision_latencies_ms": self.decision_latencies_ms,
             "case2_rounds": self.case2_rounds,
             "flow_cost_round": self._flow_cost_round,
@@ -594,8 +630,11 @@ class DSSLCScheduler:
 
     def restore_state(self, state: Dict) -> None:
         self.rng.bit_generator.state = state["rng"]
-        if state["priority_rng"] is not None and hasattr(self.priority, "rng"):
-            self.priority.rng.bit_generator.state = state["priority_rng"]
+        self._priorities.clear()
+        for cid, rng_state in state["priority_rngs"].items():
+            policy = self.priority_for(cid)
+            if hasattr(policy, "rng"):
+                policy.rng.bit_generator.state = rng_state
         self.decision_latencies_ms = state["decision_latencies_ms"]
         self.case2_rounds = state["case2_rounds"]
         self._flow_cost_round = state["flow_cost_round"]

@@ -44,9 +44,15 @@ class PriorityPolicy(Protocol):
 
 
 class RandomPriority:
-    """The paper's ρ(·): all LC requests share one priority."""
+    """The paper's ρ(·): all LC requests share one priority.
 
-    def __init__(self, seed: int = 0) -> None:
+    ``seed`` is anything :func:`numpy.random.default_rng` accepts — DSS-LC
+    passes ``(scheduler_seed, origin_cluster)`` tuples so every master owns
+    an independent stream (each master runs Alg. 2 on its own hardware; a
+    shared stream would couple masters through dispatch order).
+    """
+
+    def __init__(self, seed=0) -> None:
         self.rng = np.random.default_rng(seed)
 
     def order(
@@ -104,8 +110,12 @@ _REGISTRY = {
 }
 
 
-def make_priority(name: str, seed: int = 0) -> PriorityPolicy:
-    """Build a registered ρ(·) policy by name."""
+def make_priority(name: str, seed=0) -> PriorityPolicy:
+    """Build a registered ρ(·) policy by name.
+
+    ``seed`` may be an int or a sequence (e.g. ``(seed, cluster_id)`` for
+    per-master streams); it is only consumed by :class:`RandomPriority`.
+    """
     if name not in _REGISTRY:
         raise ValueError(f"unknown priority policy {name!r}; want {sorted(_REGISTRY)}")
     cls = _REGISTRY[name]

@@ -1,0 +1,155 @@
+"""Checkpoint/resume across shard counts.
+
+The :class:`~repro.sim.sharding.ShardCoordinator` holds no simulation
+state — sharding restructures *execution*, never semantics — so a
+checkpoint taken under N shards must resume under M ≠ N shards (or
+serially, or under a different pool backend) with RunMetrics
+bit-identical to the straight sharded run.  The CLI round-trip drives
+the same guarantee through ``repro checkpoint --shards N`` /
+``repro resume --shards M`` and compares the written metrics JSON
+against a straight ``repro run``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro import TangoConfig, TangoSystem
+from repro.cluster.topology import TopologyConfig
+from repro.metrics.fingerprint import (
+    format_fingerprint_diff,
+    metrics_fingerprint,
+)
+from repro.sim.runner import RunnerConfig
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+DURATION_MS = 4_000.0
+#: mid-run and not period-aligned, so partial collector periods, queued
+#: backlogs, and in-flight deliveries are all live at the cut.
+CHECKPOINT_MS = 1_875.0
+CLUSTERS = 6
+SEED = 7
+
+
+def build(*, shards: int, backend: str = "serial"):
+    config = TangoConfig.tango(
+        topology=TopologyConfig(
+            n_clusters=CLUSTERS, workers_per_cluster=2, seed=SEED
+        ),
+        runner=RunnerConfig(
+            duration_ms=DURATION_MS, shards=shards, parallel_backend=backend
+        ),
+    )
+    trace = SyntheticTrace(
+        TraceConfig(
+            n_clusters=CLUSTERS,
+            duration_ms=DURATION_MS,
+            seed=SEED,
+            lc_peak_rps=15.0,
+            be_peak_rps=5.0,
+        )
+    ).generate()
+    return TangoSystem(config), trace
+
+
+def run_full(*, shards: int, backend: str = "serial") -> dict:
+    system, trace = build(shards=shards, backend=backend)
+    fp = metrics_fingerprint(system.run(trace))
+    system.last_runner.close()
+    return fp
+
+
+def checkpoint_under(shards: int, backend: str = "serial"):
+    system, trace = build(shards=shards, backend=backend)
+    system.run(trace, until_ms=CHECKPOINT_MS)
+    checkpoint = system.last_runner.checkpoint()
+    system.last_runner.close()
+    return checkpoint
+
+
+def resume_under(checkpoint, *, shards: int, backend: str = "serial") -> dict:
+    system, trace = build(shards=shards, backend=backend)
+    fp = metrics_fingerprint(system.resume(trace, checkpoint))
+    system.last_runner.close()
+    return fp
+
+
+class TestCrossShardResume:
+    """checkpoint(N shards) + resume(M shards) == straight run."""
+
+    @pytest.fixture(scope="class")
+    def straight(self):
+        return run_full(shards=2)
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self):
+        return checkpoint_under(shards=2)
+
+    @pytest.mark.parametrize("resume_shards", [0, 2, 4])
+    def test_resume_shard_counts(self, straight, checkpoint, resume_shards):
+        resumed = resume_under(checkpoint, shards=resume_shards)
+        diff = format_fingerprint_diff(
+            straight, resumed, labels=("straight", "resumed")
+        )
+        assert resumed == straight, (
+            f"resume under {resume_shards} shards diverged:\n{diff}"
+        )
+
+    def test_resume_different_backend(self, straight, checkpoint):
+        resumed = resume_under(checkpoint, shards=3, backend="thread")
+        assert resumed == straight
+
+    def test_serial_checkpoint_resumes_sharded(self, straight):
+        checkpoint = checkpoint_under(shards=0)
+        resumed = resume_under(checkpoint, shards=4)
+        assert resumed == straight
+
+
+class TestCLIRoundTrip:
+    """`repro checkpoint --shards 2` → `repro resume --shards 4` lands on
+    the metrics of a straight `repro run`."""
+
+    COMMON = [
+        "--clusters", str(CLUSTERS),
+        "--workers", "2",
+        "--duration", str(DURATION_MS / 1000.0),
+        "--seed", str(SEED),
+        "--lc-rps", "15",
+        "--be-rps", "5",
+        "--parallel-backend", "serial",
+    ]
+
+    def cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+
+    def test_round_trip(self, tmp_path):
+        straight_json = tmp_path / "straight.json"
+        ckpt = tmp_path / "mid.ckpt"
+        resumed_json = tmp_path / "resumed.json"
+
+        self.cli(
+            "run", "--stack", "tango", *self.COMMON,
+            "--shards", "2", "--out", str(straight_json),
+        )
+        self.cli(
+            "checkpoint", "--stack", "tango", *self.COMMON,
+            "--shards", "2",
+            "--at", str(CHECKPOINT_MS / 1000.0), "--out", str(ckpt),
+        )
+        self.cli(
+            "resume", str(ckpt), "--shards", "4",
+            "--parallel-backend", "serial", "--out", str(resumed_json),
+        )
+
+        straight = json.loads(straight_json.read_text())
+        resumed = json.loads(resumed_json.read_text())
+        assert resumed == straight

@@ -1,0 +1,158 @@
+"""Property tests for the cluster partitioner and the merge contract.
+
+The serial↔sharded equivalence proof rests on a handful of partitioner
+properties (every cluster in exactly one shard, permutation stability,
+canonical concatenation order, balance) plus one executor property —
+results return in payload order, never completion order.  Hypothesis
+drives the former; a deliberately out-of-order executor spliced into a
+live runner pins the latter end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TangoConfig, TangoSystem
+from repro.cluster.topology import TopologyConfig
+from repro.metrics.fingerprint import metrics_fingerprint
+from repro.sim.runner import RunnerConfig
+from repro.sim.sharding import (
+    ShardExecutor,
+    ShardPlan,
+    partition_clusters,
+)
+from repro.workloads.trace import SyntheticTrace, TraceConfig
+
+ids_strategy = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200
+)
+shards_strategy = st.integers(min_value=1, max_value=32)
+
+
+class TestPartitionProperties:
+    @given(ids=ids_strategy, n=shards_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_one_shard(self, ids, n):
+        shards = partition_clusters(ids, n)
+        flat = [cid for shard in shards for cid in shard]
+        assert sorted(flat) == sorted(set(ids))
+        assert len(flat) == len(set(flat))
+
+    @given(ids=ids_strategy, n=shards_strategy, perm_seed=st.integers())
+    @settings(max_examples=200, deadline=None)
+    def test_permutation_stable(self, ids, n, perm_seed):
+        import random
+
+        shuffled = list(ids)
+        random.Random(perm_seed).shuffle(shuffled)
+        assert partition_clusters(shuffled, n) == partition_clusters(ids, n)
+
+    @given(ids=ids_strategy, n=shards_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_concat_is_canonical_order(self, ids, n):
+        # the merge barrier concatenates per-shard results in shard
+        # order; this property makes that THE cluster-ascending order.
+        shards = partition_clusters(ids, n)
+        flat = [cid for shard in shards for cid in shard]
+        assert flat == sorted(set(ids))
+
+    @given(ids=ids_strategy, n=shards_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_balanced_and_nonempty(self, ids, n):
+        shards = partition_clusters(ids, n)
+        sizes = [len(s) for s in shards]
+        assert all(size >= 1 for size in sizes)
+        assert max(sizes) - min(sizes) <= 1
+        assert len(shards) == min(n, len(set(ids)))
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            partition_clusters([1, 2, 3], 0)
+
+    def test_empty_ids(self):
+        assert partition_clusters([], 4) == []
+
+
+class TestShardPlan:
+    @given(ids=ids_strategy, n=shards_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_shard_of_inverts_shards(self, ids, n):
+        plan = ShardPlan.build(ids, n)
+        for i, members in enumerate(plan.shards):
+            for cid in members:
+                assert plan.shard_of[cid] == i
+
+    def test_split_nodes_preserves_order(self):
+        class FakeNode:
+            def __init__(self, cluster_id, name):
+                self.cluster_id = cluster_id
+                self.name = name
+
+        worker_list = [
+            FakeNode(cid, f"n{cid}-{k}") for cid in range(5) for k in range(3)
+        ]
+        plan = ShardPlan.build(range(5), 2)
+        slices = plan.split_nodes(worker_list)
+        flat = [node for s in slices for node in s]
+        assert flat == worker_list
+
+
+class ReversedCompletionExecutor(ShardExecutor):
+    """Executes payloads in *reverse* order — simulating shards finishing
+    out of order — while honoring the contract that results come back in
+    payload order.  Any merge that accidentally depended on completion
+    order would diverge under this executor."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def run_tasks(self, fn, payloads):
+        self.calls += 1
+        results = {}
+        for i in reversed(range(len(payloads))):
+            results[i] = fn(payloads[i])
+        return [results[i] for i in range(len(payloads))]
+
+
+class TestMergeOrderIndependence:
+    def test_out_of_order_completion_is_invisible(self):
+        def build():
+            config = TangoConfig.tango(
+                topology=TopologyConfig(
+                    n_clusters=6, workers_per_cluster=2, seed=1
+                ),
+                runner=RunnerConfig(
+                    duration_ms=2_500.0, shards=3, parallel_backend="serial"
+                ),
+            )
+            trace = SyntheticTrace(
+                TraceConfig(
+                    n_clusters=6,
+                    duration_ms=2_500.0,
+                    seed=1,
+                    lc_peak_rps=15.0,
+                    be_peak_rps=5.0,
+                )
+            ).generate()
+            return TangoSystem(config), trace
+
+        system, trace = build()
+        straight = metrics_fingerprint(system.run(trace))
+        system.last_runner.close()
+
+        system, trace = build()
+        runner = system._build_runner(trace)
+        executor = ReversedCompletionExecutor()
+        swapped = 0
+        for stage in runner.pipeline.stages:
+            if hasattr(stage, "executor"):
+                stage.executor = executor
+                swapped += 1
+        assert swapped >= 3  # lc + refresh + step + reassure (non-profiled)
+        reversed_fp = metrics_fingerprint(runner.run())
+        runner.close()
+
+        assert executor.calls > 0
+        assert reversed_fp == straight
